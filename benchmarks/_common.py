@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module reproduces one of the paper's tables or
+figures.  Each combines:
+
+* **model** — the calibrated cost model's series for the paper's full
+  parameter ranges (n = 2**30 etc.), printed next to the paper's
+  anchor values;
+* **measured** — pytest-benchmark timings of this library's Python
+  kernels at laptop scale, demonstrating the *shape* (who wins, where
+  cross-overs fall) where Python timings are meaningful.
+
+Reports are printed to stdout (the suite runs with ``-s``) and
+mirrored under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.analysis.reporting import banner, format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, *sections: str) -> None:
+    """Print a report and mirror it to benchmarks/results/<name>.txt."""
+    text = "\n\n".join([banner(name)] + list(sections)) + "\n"
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text)
+
+
+def table(headers, rows, title="") -> str:
+    return format_table(headers, rows, title)
+
+
+def ns_per_element(seconds: float, n: int) -> float:
+    return seconds / n * 1e9
+
+
+def standard_pairs(n: int, ngroups: int, seed: int = 0, dtype=np.float64):
+    """The paper's standard workload at bench scale."""
+    from repro.workloads.generators import make_pairs
+
+    return make_pairs(n, ngroups, "Exp(1)", dtype, seed)

@@ -1,0 +1,15 @@
+"""Fixtures shared by the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.simulator import CostModel
+
+
+@pytest.fixture(scope="session")
+def model():
+    return CostModel()

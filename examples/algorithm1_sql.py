@@ -1,0 +1,86 @@
+"""The paper's Algorithm 1, replayed on the bundled SQL engine.
+
+    CREATE TABLE R (i int, f float);
+    INSERT INTO R VALUES (1, 2.5e-16);
+    INSERT INTO R VALUES (2, 0.999999999999999);
+    INSERT INTO R VALUES (3, 2.5e-16);
+    SELECT SUM(f) FROM R;  -- Returns 0.999999999999999
+    UPDATE R SET i = i + 1 WHERE i = 2;
+    -- 'f' is unchanged, but rows are physically reordered
+    SELECT SUM(f) FROM R;  -- Returns 1.0!
+
+The paper produced this on PostgreSQL 9.5.1; our engine implements the
+same storage behaviour (UPDATE = mask old version + append new one),
+so the effect reproduces exactly — and disappears under the
+reproducible SUM.
+
+Run:  python examples/algorithm1_sql.py
+"""
+
+from repro.engine import Database
+
+STATEMENTS = [
+    "CREATE TABLE R (i int, f double)",
+    "INSERT INTO R VALUES (1, 2.5e-16)",
+    "INSERT INTO R VALUES (2, 0.999999999999999)",
+    "INSERT INTO R VALUES (3, 2.5e-16)",
+]
+
+
+def replay(sum_mode: str):
+    db = Database(sum_mode=sum_mode)
+    for sql in STATEMENTS:
+        db.execute(sql)
+    before = db.execute("SELECT SUM(f) FROM R").scalar()
+    db.execute("UPDATE R SET i = i + 1 WHERE i = 2")
+    after = db.execute("SELECT SUM(f) FROM R").scalar()
+    return before, after
+
+
+def main():
+    print("Algorithm 1 (paper, Section I) on the bundled engine\n")
+
+    before, after = replay("ieee")
+    print("-- conventional IEEE SUM (sum_mode='ieee') --")
+    print(f"SELECT SUM(f) before UPDATE: {before!r}")
+    print(f"SELECT SUM(f) after  UPDATE: {after!r}")
+    print(f"reproducible? {before == after}")
+    print()
+
+    before, after = replay("repro")
+    print("-- reproducible SUM (sum_mode='repro') --")
+    print(f"SELECT SUM(f) before UPDATE: {before!r}")
+    print(f"SELECT SUM(f) after  UPDATE: {after!r}")
+    print(f"reproducible? {before == after}")
+    print()
+
+    # The HAVING variant from the introduction: group membership flips.
+    print("-- the HAVING misclassification (intro, footnote discussion) --")
+    db = Database(sum_mode="ieee")
+    db.execute("CREATE TABLE s (g int, f double)")
+    db.execute("INSERT INTO s VALUES (1, 2.5e-16)")
+    db.execute("INSERT INTO s VALUES (1, 0.999999999999999)")
+    db.execute("INSERT INTO s VALUES (1, 2.5e-16)")
+    threshold = 0.9999999999999996
+    sql = f"SELECT g FROM s GROUP BY g HAVING SUM(f) >= {threshold!r}"
+    first = len(db.execute(sql))
+    db.execute("UPDATE s SET g = g WHERE f > 0.5")  # physical reorder only
+    second = len(db.execute(sql))
+    print(f"group qualifies before reorder: {bool(first)}")
+    print(f"group qualifies after  reorder: {bool(second)}")
+    print("(the same record appears in some runs but not others —")
+    print(" the paper's misclassification example)")
+
+    # RSUM(expr, L): the paper's proposed user-facing aggregate.
+    print()
+    print("-- RSUM(f, L): explicit precision control (Section V-D) --")
+    db2 = Database(sum_mode="ieee")
+    db2.execute("CREATE TABLE r (v double)")
+    db2.execute("INSERT INTO r VALUES (1.0), (2.5e-16), (-1.0)")
+    print(f"SUM(v)      = {db2.execute('SELECT SUM(v) FROM r').scalar()!r}")
+    print(f"RSUM(v, 4)  = {db2.execute('SELECT RSUM(v, 4) FROM r').scalar()!r}")
+    print("(RSUM with L=4 recovers the cancelled 2.5e-16 exactly)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — bit-reproducible floating-point aggregation for RDBMSs.
+
+Reproduction of Müller, Arteaga, Hoefler & Alonso, "Reproducible
+Floating-Point Aggregation in RDBMSs", ICDE 2018.
+
+Quickstart::
+
+    import numpy as np
+    import repro
+
+    values = np.random.default_rng(0).exponential(size=1_000_000)
+    keys = np.random.default_rng(1).integers(0, 1024, size=values.size)
+
+    # Bit-reproducible scalar sum: same bits for any permutation.
+    s1 = repro.reproducible_sum(values)
+    s2 = repro.reproducible_sum(values[::-1])
+    assert repro.same_bits(s1, s2)
+
+    # Bit-reproducible GROUP BY SUM.
+    table = repro.group_sum(keys, values)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .core import (
+    BufferedReproFloat,
+    reproducible_dot,
+    reproducible_mean,
+    reproducible_std,
+    reproducible_variance,
+    ReproducibleSummer,
+    ReproFloat,
+    RsumParams,
+    SimdRsum,
+    SummationState,
+    choose_partition_depth,
+    optimal_buffer_size,
+    reproducible_sum,
+)
+from .fp import same_bits
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "reproducible_sum",
+    "reproducible_dot",
+    "reproducible_mean",
+    "reproducible_variance",
+    "reproducible_std",
+    "ReproducibleSummer",
+    "ReproFloat",
+    "BufferedReproFloat",
+    "SimdRsum",
+    "SummationState",
+    "RsumParams",
+    "optimal_buffer_size",
+    "choose_partition_depth",
+    "same_bits",
+    "group_sum",
+    "__version__",
+]
+
+
+def group_sum(keys, values, **kwargs):
+    """Bit-reproducible GROUP BY SUM (convenience facade).
+
+    See :func:`repro.aggregation.api.group_sum` for the full signature
+    (algorithm selection, dtype/levels, buffering, partition depth,
+    simulated thread count).
+    """
+    from .aggregation.api import group_sum as _group_sum
+
+    return _group_sum(keys, values, **kwargs)

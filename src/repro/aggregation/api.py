@@ -1,0 +1,125 @@
+"""Public GROUP BY SUM facade.
+
+One call, all the paper's machinery::
+
+    result = group_sum(keys, values)                      # reproducible
+    result = group_sum(keys, values, reproducible=False)  # IEEE baseline
+    result = group_sum(keys, values, method="partition", threads=8,
+                       dtype="float", levels=3, buffer_size=512)
+
+The default configuration is the paper's recommendation: partition-and-
+aggregate with offline-tuned depth, summation buffers sized by
+Equation 4, and ``repro<double,2>`` accumulators (accuracy comparable
+to IEEE doubles, bit-reproducible under any physical reordering).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tuning import (
+    HASWELL_CACHE,
+    PARTITION_FANOUT,
+    choose_partition_depth,
+    optimal_buffer_size,
+)
+from ..fp.decimal_fixed import DecimalType
+from .accumulators import AggregatorSpec, spec_from_options
+from .hash_agg import hash_aggregate
+from .partition_agg import partition_and_aggregate
+from .result import GroupByResult
+from .shared_agg import shared_aggregate
+from .sort_agg import sort_aggregate
+
+__all__ = ["group_sum"]
+
+_METHODS = ("auto", "hash", "partition", "sort", "shared")
+
+
+def group_sum(
+    keys,
+    values,
+    method: str = "auto",
+    dtype: str = "double",
+    reproducible: bool = True,
+    levels: int = 2,
+    buffered: bool = True,
+    buffer_size: int | None = None,
+    decimal: DecimalType | None = None,
+    depth: int | None = None,
+    fanout: int = PARTITION_FANOUT,
+    threads: int = 1,
+    hashing: str = "identity",
+    engine: str = "numpy",
+    seed: int | None = 0,
+    spec: AggregatorSpec | None = None,
+    sort_output: bool = True,
+) -> GroupByResult:
+    """GROUP BY SUM over ``(keys, values)`` pairs.
+
+    Parameters
+    ----------
+    method:
+        ``"hash"`` (plain hash aggregation), ``"partition"``
+        (Algorithm 4), ``"sort"`` (sort-based baseline), ``"shared"``
+        (shared-table with simulated scheduling), or ``"auto"``
+        (partition with offline-tuned depth — the paper's default).
+    dtype / levels:
+        Scalar type (``"float"``/``"double"``) and accuracy levels
+        ``L`` of the reproducible accumulator.
+    reproducible:
+        ``False`` selects the conventional IEEE baseline.
+    buffered / buffer_size:
+        Summation buffers (Section V); ``buffer_size=None`` applies
+        Equation 4 against the number of groups.
+    decimal:
+        A :class:`~repro.fp.decimal_fixed.DecimalType` for the
+        fixed-point comparison baseline (overrides dtype options).
+    depth / fanout / threads:
+        Partitioning depth (None: Figure 9 rule), radix fan-out, and
+        simulated thread count.
+    seed:
+        Scheduling seed for ``method="shared"``.
+    sort_output:
+        Return groups in ascending key order (canonical).
+    """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}")
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+
+    if spec is None:
+        if buffer_size is None and buffered and reproducible and decimal is None:
+            ngroups = max(1, np.unique(keys).size) if keys.size else 1
+            eff_fanout = fanout ** (
+                depth
+                if depth is not None
+                else choose_partition_depth(ngroups, fanout)
+            )
+            itemsize = 4 if str(dtype) in ("float", "binary32", "float32") else 8
+            buffer_size = optimal_buffer_size(
+                ngroups, itemsize, eff_fanout, HASWELL_CACHE
+            )
+        spec = spec_from_options(
+            dtype=dtype,
+            reproducible=reproducible,
+            levels=levels,
+            buffered=buffered,
+            buffer_size=buffer_size,
+            decimal=decimal,
+        )
+
+    if method in ("auto", "partition"):
+        result = partition_and_aggregate(
+            keys, values, spec, depth=depth, fanout=fanout,
+            threads=threads, hashing=hashing, engine=engine,
+        )
+    elif method == "hash":
+        result = hash_aggregate(keys, values, spec, engine=engine, hashing=hashing)
+    elif method == "sort":
+        result = sort_aggregate(keys, values, spec)
+    else:  # shared
+        result = shared_aggregate(
+            keys, values, spec, threads=max(threads, 2), seed=seed, engine=engine
+        )
+    return result.sorted_by_key() if sort_output else result

@@ -1,0 +1,65 @@
+"""Result container for GROUP BY aggregations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fp.ieee import float32_to_bits, float_to_bits
+
+__all__ = ["GroupByResult"]
+
+
+class GroupByResult:
+    """The ``(key, aggregate)`` pairs produced by a GROUP BY SUM.
+
+    ``keys[i]`` is the i-th distinct key, ``sums[i]`` its aggregate.
+    Group order depends on the algorithm (insertion order for hash
+    aggregation, partition order for partition-and-aggregate); use
+    :meth:`sorted_by_key` before comparing results across algorithms.
+    """
+
+    __slots__ = ("keys", "sums", "spec_name")
+
+    def __init__(self, keys: np.ndarray, sums: np.ndarray, spec_name: str = ""):
+        self.keys = np.asarray(keys)
+        self.sums = np.asarray(sums)
+        if self.keys.shape != self.sums.shape:
+            raise ValueError("keys and sums must have the same length")
+        self.spec_name = spec_name
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def sorted_by_key(self) -> "GroupByResult":
+        """Canonical ordering for cross-algorithm comparison."""
+        order = np.argsort(self.keys, kind="stable")
+        return GroupByResult(self.keys[order], self.sums[order], self.spec_name)
+
+    def as_dict(self) -> dict:
+        return {int(k): v for k, v in zip(self.keys, self.sums)}
+
+    def bits(self) -> list[int]:
+        """Bit patterns of the aggregates, in key order.
+
+        This is the identity under which the paper defines
+        reproducibility: two executions agree iff these lists agree.
+        """
+        ordered = self.sorted_by_key()
+        if ordered.sums.dtype == np.float32:
+            return [float32_to_bits(v) for v in ordered.sums]
+        if ordered.sums.dtype == np.float64:
+            return [float_to_bits(float(v)) for v in ordered.sums]
+        return [int(v) for v in ordered.sums]  # exact integer aggregates
+
+    def bit_equal(self, other: "GroupByResult") -> bool:
+        a, b = self.sorted_by_key(), other.sorted_by_key()
+        return (
+            len(a) == len(b)
+            and bool(np.all(a.keys == b.keys))
+            and a.bits() == b.bits()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GroupByResult({len(self)} groups, spec={self.spec_name or '?'})"
+        )

@@ -1,0 +1,60 @@
+"""Exact-summation oracles and error measurement.
+
+Accuracy claims (Table II) are checked against *exact* references:
+``math.fsum`` (correctly rounded) for speed and
+:class:`fractions.Fraction` arithmetic for airtight property tests.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+__all__ = [
+    "exact_sum",
+    "fsum",
+    "abs_error",
+    "rel_error",
+    "max_group_error",
+]
+
+
+def fsum(values) -> float:
+    """Correctly rounded float sum (``math.fsum``)."""
+    return math.fsum(float(v) for v in values)
+
+
+def exact_sum(values) -> Fraction:
+    """The exact real sum as a Fraction (floats are exact rationals)."""
+    total = Fraction(0)
+    for v in values:
+        total += Fraction(float(v))
+    return total
+
+
+def abs_error(measured, values) -> float:
+    """|measured - exact sum| as a float."""
+    return float(abs(Fraction(float(measured)) - exact_sum(values)))
+
+
+def rel_error(measured, values) -> float:
+    """Relative error against the exact sum (0 if the sum is 0)."""
+    exact = exact_sum(values)
+    if exact == 0:
+        return float(abs(Fraction(float(measured))))
+    return float(abs(Fraction(float(measured)) - exact) / abs(exact))
+
+
+def max_group_error(result_dict: dict, groups: dict) -> float:
+    """Max absolute error of per-group sums against fsum references.
+
+    ``result_dict`` maps key -> measured sum; ``groups`` maps key ->
+    sequence of input values.
+    """
+    worst = 0.0
+    for key, values in groups.items():
+        reference = fsum(values)
+        worst = max(worst, abs(float(result_dict[key]) - reference))
+    return worst

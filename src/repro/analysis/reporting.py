@@ -1,0 +1,67 @@
+"""Plain-text rendering of paper-style tables and series.
+
+The benchmark harnesses print their results through these helpers so
+every figure/table reproduction has a uniform, diffable text form in
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["format_table", "format_sci", "format_series", "banner"]
+
+
+def format_sci(value, digits: int = 1) -> str:
+    """Scientific notation like the paper's tables (1.7e-10 -> '1.7e-10')."""
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if isinstance(value, (int,)) and abs(value) < 10**6:
+        return str(value)
+    exponent = math.floor(math.log10(abs(value)))
+    mantissa = value / 10**exponent
+    return f"{mantissa:.{digits}f}e{exponent:+03d}"
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return format_sci(value)
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_series(xs, ys, x_label: str = "x", y_label: str = "y",
+                  title: str = "") -> str:
+    """A two-column series (one figure line) as text."""
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title)
+
+
+def banner(text: str) -> str:
+    bar = "=" * max(len(text), 8)
+    return f"{bar}\n{text}\n{bar}"

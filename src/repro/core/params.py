@@ -1,0 +1,102 @@
+"""Algorithm parameters for reproducible summation (paper Table I).
+
+The RSUM family is governed by three parameters:
+
+``W``
+    Bit distance between two consecutive extractor levels (the paper's
+    "logarithm of the ratio of two consecutive extractors").  Bounded by
+    ``m - 2``; the paper's "good choices" are 18 for single and 40 for
+    double precision, which we adopt as defaults.
+``L``
+    Number of levels of running sums / carry-bit counters.  ``L = 2``
+    matches conventional accuracy, ``L = 3`` clearly exceeds it
+    (Table II).
+``NB``
+    Block size between carry-bit propagations in the SIMD variant
+    (Algorithm 3).  Bounded by ``2**(m - W - 1)`` so a block's worth of
+    contributions can never overflow the 0.25-ufp slack of a running
+    sum.  (The paper prints this bound as ``2^{-m-W-1}``, an obvious
+    typo for ``2^{m-W-1}``: each contribution is at most
+    ``2**(W-1) * ulp`` and the slack is ``2**(m-2) * ulp``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fp.formats import BINARY32, BINARY64, FloatFormat
+
+__all__ = [
+    "DEFAULT_W",
+    "DEFAULT_LEVELS",
+    "default_w",
+    "max_block_size",
+    "RsumParams",
+]
+
+#: Paper §III-C: "Good choices are 18 and 40 for single and double
+#: precision respectively and we use these values in this work."
+DEFAULT_W = {"binary32": 18, "binary64": 40, "binary16": 6}
+
+#: ``L = 2`` gives "comparable accuracy as a standard, non-reproducible
+#: floating-point summation" (paper §VI-B conclusion).
+DEFAULT_LEVELS = 2
+
+
+def default_w(fmt: FloatFormat) -> int:
+    """Default extractor spacing for a format."""
+    try:
+        return DEFAULT_W[fmt.name]
+    except KeyError:
+        # Toy formats: leave two guard bits as the paper requires
+        # (W <= m - 2) and keep at least one bit of spacing.
+        return max(1, fmt.mantissa_bits - 2)
+
+
+def max_block_size(fmt: FloatFormat, w: int) -> int:
+    """Largest NB such that a block cannot overflow a running sum.
+
+    Contributions at a level are bounded by ``2**(W-1)`` level-ulps and
+    the running sum has ``2**(m-2)`` level-ulps of slack before leaving
+    its binade, so ``NB <= 2**(m - W - 1)``.
+    """
+    return 2 ** (fmt.mantissa_bits - w - 1)
+
+
+@dataclass(frozen=True)
+class RsumParams:
+    """Validated parameter bundle for one reproducible summation setup."""
+
+    fmt: FloatFormat
+    levels: int = DEFAULT_LEVELS
+    w: int | None = None
+
+    def __post_init__(self):
+        w = self.w if self.w is not None else default_w(self.fmt)
+        object.__setattr__(self, "w", w)
+        if not 1 <= w <= self.fmt.mantissa_bits - 2:
+            raise ValueError(
+                f"W must be in [1, m-2] = [1, {self.fmt.mantissa_bits - 2}]"
+                f" for {self.fmt.name}, got {w}"
+            )
+        if self.levels < 1:
+            raise ValueError("need at least one level")
+
+    @property
+    def nb_max(self) -> int:
+        return max_block_size(self.fmt, self.w)
+
+    @classmethod
+    def for_dtype(cls, dtype, levels: int = DEFAULT_LEVELS, w: int | None = None):
+        """Build params from a NumPy dtype (float32/float64)."""
+        from ..fp.formats import format_for_dtype
+
+        return cls(format_for_dtype(dtype), levels, w)
+
+    @classmethod
+    def single(cls, levels: int = DEFAULT_LEVELS) -> "RsumParams":
+        return cls(BINARY32, levels)
+
+    @classmethod
+    def double(cls, levels: int = DEFAULT_LEVELS) -> "RsumParams":
+        return cls(BINARY64, levels)

@@ -1,0 +1,131 @@
+"""Tuning buffer size and partitioning depth (paper Section V-C).
+
+Two knobs control the cache footprint of PARTITIONANDAGGREGATE with
+summation buffers:
+
+* the buffer size ``bsz`` — chosen by Equation 4 so the per-thread
+  working set ``(ngroups / F) * sizeof(ScalarT) * bsz`` fills (but does
+  not exceed) the last-level cache share of one thread;
+* the partitioning depth ``d`` — the number of fan-out-256 passes that
+  divide the groups seen by the final aggregation.
+
+The paper determines the depth thresholds offline (Figure 9): d = 0 is
+best below 2**10 groups, each further level pays off when the groups
+*per partition* exceed 2**10 again.  These helpers encode both rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CacheConfig",
+    "HASWELL_CACHE",
+    "optimal_buffer_size",
+    "choose_partition_depth",
+    "working_set_bytes",
+    "PARTITION_FANOUT",
+    "DEPTH_THRESHOLD_GROUPS",
+]
+
+#: Paper §V-B: "we partition with F = f**d for f = 256 and d = 0, 1, ..."
+PARTITION_FANOUT = 256
+
+#: Paper §VI-D (Figure 9): "no partitioning at all is faster as long as
+#: the number of groups is less than 2**10 ... two levels of
+#: partitioning are faster than just one for 2**18 groups or more.
+#: This corresponds to 2**10 groups per partition — so the two
+#: thresholds are effectively the same."
+DEPTH_THRESHOLD_GROUPS = 2**10
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Cache capacity available to one thread of the aggregation.
+
+    ``effective_bytes`` is the budget Equation 4 divides among buffers.
+    The paper observes the cliff when the working set exceeds about
+    half of the per-core LLC share (1 MiB on the testbed), so the
+    effective budget is that half-share, not the raw capacity.
+    """
+
+    llc_bytes: int = 20 * 2**20
+    cores: int = 8
+    effective_fraction: float = 0.4
+
+    @property
+    def per_thread_bytes(self) -> int:
+        return self.llc_bytes // self.cores
+
+    @property
+    def effective_bytes(self) -> int:
+        """~1 MiB on the paper's machine (20 MiB / 8 cores * 0.4)."""
+        return int(self.llc_bytes * self.effective_fraction / self.cores)
+
+
+#: The paper's testbed: 2x Xeon E5-2630 v3, 20 MiB shared LLC, 8 cores.
+HASWELL_CACHE = CacheConfig()
+
+
+def optimal_buffer_size(
+    ngroups: int,
+    itemsize: int,
+    fanout: int = 1,
+    cache: CacheConfig = HASWELL_CACHE,
+    bsz_max: int = 1024,
+    bsz_min: int = 1,
+) -> int:
+    """Equation 4: the largest buffer size whose working set fits cache.
+
+        bsz = min( ceil(|cache| / (ngroups/F * sizeof(ScalarT))),
+                   bsz_max )
+
+    rounded down to a power of two (buffer slots are allocated in
+    power-of-two sizes, like the paper's sweep over bsz = 2**4..2**10).
+    """
+    if ngroups < 1:
+        raise ValueError("ngroups must be positive")
+    groups_per_partition = max(1, -(-ngroups // fanout))
+    raw = cache.effective_bytes / (groups_per_partition * itemsize)
+    bsz = int(raw)
+    if bsz < 1:
+        bsz = bsz_min
+    power = 1
+    while power * 2 <= bsz:
+        power *= 2
+    return max(bsz_min, min(power, bsz_max))
+
+
+def choose_partition_depth(
+    ngroups: int,
+    fanout: int = PARTITION_FANOUT,
+    threshold: int = DEPTH_THRESHOLD_GROUPS,
+    max_depth: int = 4,
+) -> int:
+    """Offline depth rule of Section V-C / Figure 9.
+
+    Adds a level of partitioning while the number of groups per
+    partition still exceeds the in-cache threshold.
+    """
+    if ngroups < 1:
+        raise ValueError("ngroups must be positive")
+    depth = 0
+    remaining = ngroups
+    while remaining > threshold and depth < max_depth:
+        depth += 1
+        remaining = -(-remaining // fanout)
+    return depth
+
+
+def working_set_bytes(
+    ngroups: int, itemsize: int, bsz: int, fanout: int = 1
+) -> int:
+    """Cache footprint model of Section V-C.
+
+    "the cache footprint of the algorithm consists of the size of the
+    hash table, which we can quantify as ngroups * sizeof(ScalarT) * bsz"
+    — divided by the partitioning fan-out ``F`` when partitioning runs
+    first.
+    """
+    groups_per_partition = max(1, -(-ngroups // fanout))
+    return groups_per_partition * itemsize * bsz

@@ -1,0 +1,70 @@
+"""Mini column-store SQL engine (the paper's system-integration substrate).
+
+A deliberately small but real engine: SQL front end, columnar storage
+with MonetDB-style delete+append updates, vectorised operators, and a
+SUM implementation selectable per session (``ieee`` / ``repro`` /
+``repro_buffered`` / ``sorted``) plus the explicit ``RSUM(expr, L)``
+aggregate the paper proposes in Section V-D.
+"""
+
+from .catalog import Catalog
+from .executor import QueryResult, execute_select
+from .expr import ExprError, evaluate, expression_columns, find_aggregates
+from .operators import Batch, GroupByOp, OperatorTimings, SumConfig, grouped_float_sum
+from .session import Database
+from .sql import SqlLexError, SqlParseError, parse, parse_expression, tokenize
+from .table import Column, Schema, Table
+from .types import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    FLOAT,
+    INT,
+    DateType,
+    DecimalSqlType,
+    FloatType,
+    IntType,
+    SqlType,
+    VarcharType,
+    parse_date,
+    type_from_name,
+)
+
+__all__ = [
+    "Database",
+    "Catalog",
+    "Table",
+    "Schema",
+    "Column",
+    "QueryResult",
+    "execute_select",
+    "Batch",
+    "GroupByOp",
+    "SumConfig",
+    "OperatorTimings",
+    "grouped_float_sum",
+    "parse",
+    "parse_expression",
+    "tokenize",
+    "SqlParseError",
+    "SqlLexError",
+    "evaluate",
+    "ExprError",
+    "expression_columns",
+    "find_aggregates",
+    "SqlType",
+    "IntType",
+    "FloatType",
+    "DecimalSqlType",
+    "VarcharType",
+    "DateType",
+    "INT",
+    "BIGINT",
+    "FLOAT",
+    "DOUBLE",
+    "DATE",
+    "BOOLEAN",
+    "parse_date",
+    "type_from_name",
+]

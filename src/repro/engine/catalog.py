@@ -1,0 +1,54 @@
+"""Table catalog."""
+
+from __future__ import annotations
+
+from .table import Schema, Table
+from .types import type_from_name
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Named tables of one database."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: list[tuple[str, object]]) -> Table:
+        low = name.lower()
+        if low in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        resolved = []
+        for col_name, sql_type in columns:
+            if isinstance(sql_type, str):
+                sql_type = type_from_name(sql_type)
+            resolved.append((col_name, sql_type))
+        table = Table(low, Schema(resolved))
+        self._tables[low] = table
+        return table
+
+    def add(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise KeyError(f"no table {name!r}") from None
+
+    def drop(self, name: str, if_exists: bool = False) -> bool:
+        low = name.lower()
+        if low in self._tables:
+            del self._tables[low]
+            return True
+        if not if_exists:
+            raise KeyError(f"no table {name!r}")
+        return False
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables

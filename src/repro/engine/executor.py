@@ -1,0 +1,219 @@
+"""Query executor: binds a SELECT AST to the catalog and runs it."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .expr import ExprError, evaluate, find_aggregates
+from .operators import Batch, GroupByOp, OperatorTimings, SumConfig
+from .sql import ast
+from .table import Table
+from .types import SqlType
+
+__all__ = ["QueryResult", "execute_select"]
+
+
+class QueryResult:
+    """Columnar query result with row-oriented accessors."""
+
+    def __init__(self, names: list[str], arrays: list[np.ndarray],
+                 types: list[SqlType | None] | None = None):
+        self.names = names
+        self.arrays = [np.asarray(a) for a in arrays]
+        self.types = types if types is not None else [None] * len(names)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0]) if self.arrays else 0
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.arrays[self.names.index(name)]
+        except ValueError:
+            raise KeyError(f"no output column {name!r}") from None
+
+    def rows(self) -> list[tuple]:
+        converted = []
+        for arr, sql_type in zip(self.arrays, self.types):
+            if sql_type is not None:
+                converted.append([_to_python(sql_type.to_python(v)) for v in arr])
+            else:
+                converted.append([_to_python(v) for v in arr])
+        return [tuple(col[i] for col in converted) for i in range(len(self))]
+
+    def scalar(self):
+        """The single value of a 1x1 result."""
+        if len(self.arrays) != 1 or len(self) != 1:
+            raise ValueError("result is not a single scalar")
+        return _to_python(self.arrays[0][0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryResult({self.names}, {len(self)} rows)"
+
+
+def _to_python(value):
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def execute_select(
+    stmt: ast.Select,
+    get_table,
+    sum_config: SumConfig,
+    timings: OperatorTimings | None = None,
+) -> QueryResult:
+    """Run a SELECT against the catalog accessor ``get_table``."""
+
+    # --- scan -------------------------------------------------------------
+    started = time.perf_counter()
+    if stmt.table is not None:
+        table: Table = get_table(stmt.table)
+        columns = table.scan()
+        types = {name: table.schema.type_of(name) for name in table.schema.names()}
+        batch = Batch(columns, types)
+    else:
+        batch = Batch({}, {})
+        batch.nrows = 1  # SELECT 1 + 1
+    if timings is not None:
+        timings.add("scan", time.perf_counter() - started)
+
+    # --- where --------------------------------------------------------------
+    if stmt.where is not None:
+        started = time.perf_counter()
+        mask = np.asarray(evaluate(stmt.where, batch.columns, batch.types))
+        if mask.shape == ():
+            mask = np.full(batch.nrows, bool(mask))
+        batch = batch.filter(mask.astype(bool))
+        if timings is not None:
+            timings.add("selection", time.perf_counter() - started)
+
+    # --- aggregate or plain projection --------------------------------------
+    aggregates: list[ast.FuncCall] = []
+    for item in stmt.items:
+        aggregates.extend(find_aggregates(item.expr))
+    if stmt.having is not None:
+        aggregates.extend(find_aggregates(stmt.having))
+    grouped = bool(stmt.group_by) or bool(aggregates)
+
+    if grouped:
+        names, arrays = _execute_grouped(stmt, batch, aggregates, sum_config, timings)
+    else:
+        names, arrays = _execute_projection(stmt, batch)
+
+    out_types: list[SqlType | None] = [None] * len(names)
+    if stmt.table is not None and not grouped:
+        # Pass through source types for plain column projections.
+        for i, item in enumerate(stmt.items):
+            if isinstance(item.expr, ast.ColumnRef):
+                out_types[i] = batch.types.get(item.expr.name.lower())
+    if grouped and stmt.group_by:
+        for i, item in enumerate(stmt.items):
+            if isinstance(item.expr, ast.ColumnRef):
+                out_types[i] = batch.types.get(item.expr.name.lower())
+
+    # --- order by -------------------------------------------------------------
+    if stmt.order_by and arrays and len(arrays[0]):
+        env = {name: arr for name, arr in zip(names, arrays)}
+        sort_keys = []
+        for order_item in reversed(stmt.order_by):
+            sort_keys.append(_order_key(order_item, stmt, env))
+        order = np.lexsort(sort_keys) if sort_keys else np.arange(len(arrays[0]))
+        arrays = [arr[order] for arr in arrays]
+
+    # --- limit ---------------------------------------------------------------
+    if stmt.limit is not None:
+        arrays = [arr[: stmt.limit] for arr in arrays]
+
+    return QueryResult(names, arrays, out_types)
+
+
+def _order_key(order_item: ast.OrderItem, stmt: ast.Select, env: dict):
+    expr = order_item.expr
+    arr = None
+    if isinstance(expr, ast.ColumnRef) and expr.name in env:
+        arr = env[expr.name]
+    else:
+        wanted = expr.sql()
+        for item, name in zip(stmt.items, env.keys()):
+            if item.expr.sql() == wanted:
+                arr = env[name]
+                break
+    if arr is None:
+        try:
+            arr = evaluate(expr, env)
+        except ExprError:
+            raise ExprError(f"cannot resolve ORDER BY expression {expr.sql()!r}")
+    arr = np.asarray(arr)
+    if order_item.descending:
+        if arr.dtype.kind in "fiu":
+            return -arr.astype(np.float64)
+        # Lexicographic descending for strings: invert rank.
+        uniq, inverse = np.unique(arr, return_inverse=True)
+        return -inverse
+    if arr.dtype.kind == "O":
+        _, inverse = np.unique(arr, return_inverse=True)
+        return inverse
+    return arr
+
+
+def _execute_projection(stmt: ast.Select, batch: Batch):
+    names, arrays = [], []
+    for i, item in enumerate(stmt.items):
+        if isinstance(item.expr, ast.Star):
+            for name, arr in batch.columns.items():
+                names.append(name)
+                arrays.append(arr)
+            continue
+        value = evaluate(item.expr, batch.columns, batch.types)
+        arr = np.asarray(value)
+        if arr.shape == ():
+            arr = np.full(batch.nrows, value)
+        names.append(item.output_name(i))
+        arrays.append(arr)
+    return names, arrays
+
+
+def _execute_grouped(stmt: ast.Select, batch: Batch, aggregates,
+                     sum_config: SumConfig, timings):
+    group_op = GroupByOp(stmt.group_by, aggregates, sum_config, timings)
+    key_arrays, agg_env, ngroups = group_op.execute(batch)
+
+    # Environment for select items / HAVING: group-key expressions by
+    # their SQL text, aggregates via agg_env.
+    key_env: dict[str, np.ndarray] = {}
+    for expr, arr in zip(stmt.group_by, key_arrays):
+        key_env[expr.sql()] = arr
+        if isinstance(expr, ast.ColumnRef):
+            key_env[expr.name.lower()] = arr
+
+    def eval_output(expr: ast.Expr) -> np.ndarray:
+        text = expr.sql()
+        if text in agg_env:
+            return agg_env[text]
+        if text in key_env:
+            return key_env[text]
+        if isinstance(expr, ast.ColumnRef) and expr.name.lower() in key_env:
+            return key_env[expr.name.lower()]
+        # Expression over aggregates and/or group keys.
+        env = dict(key_env)
+        value = evaluate(expr, env, batch.types, agg_env)
+        arr = np.asarray(value)
+        if arr.shape == ():
+            arr = np.full(ngroups, value)
+        return arr
+
+    # HAVING filter.
+    keep = None
+    if stmt.having is not None:
+        keep = np.asarray(eval_output(stmt.having)).astype(bool)
+
+    names, arrays = [], []
+    for i, item in enumerate(stmt.items):
+        if isinstance(item.expr, ast.Star):
+            raise ExprError("'*' in grouped SELECT is only valid in COUNT(*)")
+        arr = eval_output(item.expr)
+        names.append(item.output_name(i))
+        arrays.append(arr if keep is None else arr[keep])
+    return names, arrays

@@ -1,0 +1,165 @@
+"""Columnar expression evaluation.
+
+Expressions evaluate over a *batch* — a mapping from column name to
+NumPy array — and return an array (or scalar, which the operators
+broadcast).  An optional *aggregate environment* maps the canonical SQL
+text of aggregate calls (``SUM((a * b))``) to their per-group result
+arrays, which is how HAVING clauses and select items over aggregates
+are evaluated after grouping.
+
+DECIMAL columns are stored unscaled; the evaluator rescales them to
+float64 when they enter arithmetic, while ``SUM`` over a *bare* DECIMAL
+column is handled exactly by the group-by operator (integer adds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sql import ast
+from .types import DecimalSqlType, SqlType, parse_date
+
+__all__ = ["evaluate", "ExprError", "expression_columns", "find_aggregates"]
+
+
+class ExprError(ValueError):
+    """Evaluation or binding error."""
+
+
+def evaluate(
+    expr: ast.Expr,
+    batch: dict,
+    types: dict[str, SqlType] | None = None,
+    agg_env: dict[str, np.ndarray] | None = None,
+):
+    """Evaluate ``expr`` over ``batch``; see module docstring."""
+    if agg_env is not None:
+        key = expr.sql()
+        if key in agg_env:
+            return agg_env[key]
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.DateLiteral):
+        return parse_date(expr.text)
+    if isinstance(expr, ast.IntervalLiteral):
+        if expr.unit != "DAY":
+            raise ExprError("only DAY intervals are supported in arithmetic")
+        return expr.amount
+    if isinstance(expr, ast.ColumnRef):
+        name = expr.name.lower()
+        if name not in batch:
+            raise ExprError(f"unknown column {expr.sql()!r}")
+        arr = batch[name]
+        if types is not None and isinstance(types.get(name), DecimalSqlType):
+            scale = types[name].scale
+            return arr.astype(np.float64) / 10.0**scale
+        return arr
+    if isinstance(expr, ast.Unary):
+        operand = evaluate(expr.operand, batch, types, agg_env)
+        if expr.op.upper() == "NOT":
+            return np.logical_not(operand)
+        return np.negative(operand)
+    if isinstance(expr, ast.Between):
+        operand = evaluate(expr.operand, batch, types, agg_env)
+        low = evaluate(expr.low, batch, types, agg_env)
+        high = evaluate(expr.high, batch, types, agg_env)
+        return np.logical_and(operand >= low, operand <= high)
+    if isinstance(expr, ast.Binary):
+        left = evaluate(expr.left, batch, types, agg_env)
+        right = evaluate(expr.right, batch, types, agg_env)
+        op = expr.op.upper()
+        if op == "AND":
+            return np.logical_and(left, right)
+        if op == "OR":
+            return np.logical_or(left, right)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return np.divide(left, right)
+        if op == "=":
+            return _compare(left, right, "eq")
+        if op == "<>":
+            return _compare(left, right, "ne")
+        if op == "<":
+            return _compare(left, right, "lt")
+        if op == "<=":
+            return _compare(left, right, "le")
+        if op == ">":
+            return _compare(left, right, "gt")
+        if op == ">=":
+            return _compare(left, right, "ge")
+        raise ExprError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, ast.FuncCall):
+        if expr.is_aggregate:
+            raise ExprError(
+                f"aggregate {expr.name} outside GROUP BY context: {expr.sql()}"
+            )
+        if expr.name == "ABS":
+            return np.abs(evaluate(expr.args[0], batch, types, agg_env))
+        raise ExprError(f"unknown function {expr.name!r}")
+    if isinstance(expr, ast.Star):
+        raise ExprError("'*' is only valid inside COUNT(*)")
+    raise ExprError(f"cannot evaluate {expr!r}")
+
+
+def _compare(left, right, op: str):
+    ops = {
+        "eq": np.equal, "ne": np.not_equal,
+        "lt": np.less, "le": np.less_equal,
+        "gt": np.greater, "ge": np.greater_equal,
+    }
+    # Object (string) arrays compare element-wise with Python semantics.
+    return ops[op](left, right)
+
+
+def expression_columns(expr: ast.Expr) -> set[str]:
+    """All column names referenced by an expression."""
+    cols: set[str] = set()
+
+    def walk(e: ast.Expr) -> None:
+        if isinstance(e, ast.ColumnRef):
+            cols.add(e.name.lower())
+        elif isinstance(e, ast.Unary):
+            walk(e.operand)
+        elif isinstance(e, ast.Binary):
+            walk(e.left)
+            walk(e.right)
+        elif isinstance(e, ast.Between):
+            walk(e.operand)
+            walk(e.low)
+            walk(e.high)
+        elif isinstance(e, ast.FuncCall):
+            for arg in e.args:
+                walk(arg)
+
+    walk(expr)
+    return cols
+
+
+def find_aggregates(expr: ast.Expr) -> list[ast.FuncCall]:
+    """All aggregate calls inside an expression (outermost first)."""
+    found: list[ast.FuncCall] = []
+
+    def walk(e: ast.Expr) -> None:
+        if isinstance(e, ast.FuncCall) and e.is_aggregate:
+            found.append(e)
+            return  # nested aggregates are invalid; don't descend
+        if isinstance(e, ast.Unary):
+            walk(e.operand)
+        elif isinstance(e, ast.Binary):
+            walk(e.left)
+            walk(e.right)
+        elif isinstance(e, ast.Between):
+            walk(e.operand)
+            walk(e.low)
+            walk(e.high)
+        elif isinstance(e, ast.FuncCall):
+            for arg in e.args:
+                walk(arg)
+
+    walk(expr)
+    return found

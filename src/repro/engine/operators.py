@@ -1,0 +1,243 @@
+"""Physical operators for the mini engine.
+
+Vector-at-a-time execution over whole-column batches (the MonetDB
+style).  The interesting operator is :class:`GroupByOp`, which hosts
+the paper's SUM implementations side by side:
+
+* ``sum_mode="ieee"`` — conventional accumulation in physical row
+  order (non-reproducible; what stock engines do);
+* ``sum_mode="repro"`` / ``"repro_buffered"`` — the reproducible
+  aggregation of Sections IV/V (bit-identical results; the buffered
+  mode differs only in cost, which the simulator models);
+* ``sum_mode="sorted"`` — sort the (group, value-bits) pairs first,
+  the only conventional way to force reproducibility (Table IV's
+  7x-slower baseline).
+
+``RSUM(expr [, L])`` is the paper's proposed "alternate aggregate
+function ... which would give the user control on the desired
+precision" (Section V-D): it is reproducible regardless of the session
+sum mode.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.params import RsumParams
+from ..fp.formats import BINARY32, BINARY64
+from .expr import ExprError, evaluate, find_aggregates
+from .sql import ast
+from .types import DecimalSqlType, SqlType
+
+__all__ = ["Batch", "GroupByOp", "SumConfig", "OperatorTimings"]
+
+
+class Batch:
+    """Columnar batch: arrays + SQL types + row count."""
+
+    def __init__(self, columns: dict, types: dict[str, SqlType]):
+        self.columns = columns
+        self.types = types
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError("ragged batch")
+        self.nrows = lengths.pop() if lengths else 0
+
+    def filter(self, mask: np.ndarray) -> "Batch":
+        return Batch(
+            {name: arr[mask] for name, arr in self.columns.items()}, self.types
+        )
+
+
+class OperatorTimings:
+    """Wall-clock CPU time per operator class (Table IV's breakdown)."""
+
+    def __init__(self):
+        self.seconds: dict[str, float] = {}
+
+    def add(self, label: str, dt: float) -> None:
+        self.seconds[label] = self.seconds.get(label, 0.0) + dt
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+
+class SumConfig:
+    """Session-level configuration of the SUM implementation."""
+
+    MODES = ("ieee", "repro", "repro_buffered", "sorted")
+
+    def __init__(self, mode: str = "ieee", levels: int = 2,
+                 buffer_size: int | None = None):
+        if mode not in self.MODES:
+            raise ValueError(f"sum_mode must be one of {self.MODES}")
+        self.mode = mode
+        self.levels = levels
+        self.buffer_size = buffer_size
+
+
+class GroupByOp:
+    """Hash GROUP BY with pluggable aggregate functions."""
+
+    def __init__(self, group_exprs, agg_items, sum_config: SumConfig,
+                 timings: OperatorTimings | None = None):
+        self.group_exprs = tuple(group_exprs)
+        self.agg_items = tuple(agg_items)  # list of FuncCall
+        self.sum_config = sum_config
+        self.timings = timings
+
+    # -- group key factorisation -----------------------------------------
+    def _factorize(self, batch: Batch):
+        """Composite group keys -> dense gids + per-key distinct values."""
+        if not self.group_exprs:
+            # Aggregation without grouping: one global group.
+            return np.zeros(batch.nrows, dtype=np.int64), 1, []
+        inverses = []
+        uniques = []
+        for expr in self.group_exprs:
+            arr = evaluate(expr, batch.columns, batch.types)
+            arr = np.asarray(arr)
+            if arr.shape == ():
+                arr = np.full(batch.nrows, arr)
+            uniq, inverse = np.unique(arr, return_inverse=True)
+            inverses.append(inverse.astype(np.int64))
+            uniques.append(uniq)
+        combined = inverses[0]
+        for inv, uniq in zip(inverses[1:], uniques[1:]):
+            combined = combined * len(uniq) + inv
+        dense_uniq, gids = np.unique(combined, return_inverse=True)
+        # Decode the composite back into per-key distinct columns.
+        keys = []
+        radix = dense_uniq
+        for uniq in reversed(uniques[1:]):
+            keys.append(uniq[radix % len(uniq)])
+            radix = radix // len(uniq)
+        keys.append(uniques[0][radix])
+        keys.reverse()
+        return gids.astype(np.int64), len(dense_uniq), keys
+
+    # -- aggregate computation ----------------------------------------------
+    def execute(self, batch: Batch):
+        """Returns (key_arrays, agg_env, ngroups).
+
+        ``agg_env`` maps each aggregate's canonical SQL text to its
+        per-group result array, ready for select items and HAVING.
+        """
+        gids, ngroups, key_arrays = self._factorize(batch)
+        agg_env: dict[str, np.ndarray] = {}
+        for call in self.agg_items:
+            key = call.sql()
+            if key in agg_env:
+                continue
+            agg_env[key] = self._compute(call, batch, gids, ngroups)
+        return key_arrays, agg_env, ngroups
+
+    def _compute(self, call: ast.FuncCall, batch: Batch, gids, ngroups):
+        name = call.name
+        if name == "COUNT":
+            return np.bincount(gids, minlength=ngroups).astype(np.int64)
+        if not call.args:
+            raise ExprError(f"{name} requires an argument")
+        arg = call.args[0]
+
+        if name in ("MIN", "MAX"):
+            values = np.asarray(evaluate(arg, batch.columns, batch.types))
+            ufunc = np.minimum if name == "MIN" else np.maximum
+            order = np.argsort(gids, kind="stable")
+            sorted_gids = gids[order]
+            starts = np.flatnonzero(
+                np.concatenate(([True], sorted_gids[1:] != sorted_gids[:-1]))
+            )
+            return ufunc.reduceat(values[order], starts)
+
+        if name == "AVG":
+            sums = self._sum(arg, batch, gids, ngroups, self.sum_config.mode,
+                             self.sum_config.levels)
+            counts = np.bincount(gids, minlength=ngroups)
+            return sums / np.maximum(counts, 1)
+
+        if name in ("VARIANCE", "VAR_SAMP", "VAR_POP", "STDDEV",
+                    "STDDEV_SAMP", "STDDEV_POP"):
+            # Computed from SUM(x) and SUM(x*x) — the paper's footnote-2
+            # recipe: with a reproducible SUM these become reproducible
+            # too.  x*x is an element-wise (order-free) operation.
+            values = np.asarray(
+                evaluate(arg, batch.columns, batch.types), dtype=np.float64
+            )
+            mode, levels = self.sum_config.mode, self.sum_config.levels
+            sums = grouped_float_sum(values, gids, ngroups, mode, levels)
+            squares = grouped_float_sum(values * values, gids, ngroups,
+                                        mode, levels)
+            counts = np.bincount(gids, minlength=ngroups).astype(np.float64)
+            ddof = 0.0 if name.endswith("_POP") else 1.0
+            denominator = np.maximum(counts - ddof, 1.0)
+            variance = (squares - sums * sums / np.maximum(counts, 1.0))
+            variance = np.maximum(variance, 0.0) / denominator
+            if name.startswith("STDDEV"):
+                return np.sqrt(variance)
+            return variance
+
+        if name == "SUM":
+            return self._sum(arg, batch, gids, ngroups, self.sum_config.mode,
+                             self.sum_config.levels)
+        if name == "RSUM":
+            levels = self.sum_config.levels
+            if len(call.args) > 1:
+                lv = call.args[1]
+                if not isinstance(lv, ast.Literal) or not isinstance(lv.value, int):
+                    raise ExprError("RSUM level argument must be an integer literal")
+                levels = lv.value
+            return self._sum(arg, batch, gids, ngroups, "repro", levels)
+        raise ExprError(f"unknown aggregate {name!r}")
+
+    def _sum(self, arg: ast.Expr, batch: Batch, gids, ngroups,
+             mode: str, levels: int):
+        started = time.perf_counter()
+        try:
+            # Exact integer path: SUM over a bare DECIMAL/INT column.
+            if isinstance(arg, ast.ColumnRef):
+                sql_type = batch.types.get(arg.name.lower())
+                if isinstance(sql_type, DecimalSqlType):
+                    unscaled = batch.columns[arg.name.lower()]
+                    sums = np.zeros(ngroups, dtype=np.int64)
+                    np.add.at(sums, gids, unscaled)
+                    return sums.astype(np.float64) / 10.0**sql_type.scale
+            values = np.asarray(evaluate(arg, batch.columns, batch.types))
+            if values.shape == ():
+                values = np.full(len(gids), values)
+            if values.dtype.kind in "iub":
+                sums = np.zeros(ngroups, dtype=np.int64)
+                np.add.at(sums, gids, values)
+                return sums
+            return grouped_float_sum(values, gids, ngroups, mode, levels)
+        finally:
+            if self.timings is not None:
+                self.timings.add("aggregation", time.perf_counter() - started)
+
+
+def grouped_float_sum(values: np.ndarray, gids: np.ndarray, ngroups: int,
+                      mode: str, levels: int = 2) -> np.ndarray:
+    """The four SUM implementations on float columns (see module docs)."""
+    if mode == "ieee":
+        out = np.zeros(ngroups, dtype=values.dtype)
+        np.add.at(out, gids, values)
+        return out
+    if mode in ("repro", "repro_buffered"):
+        from ..aggregation.grouped import GroupedSummation
+
+        fmt = BINARY32 if values.dtype == np.float32 else BINARY64
+        grouped = GroupedSummation.from_pairs(
+            RsumParams(fmt, levels), gids, values.astype(fmt.dtype), ngroups
+        )
+        return grouped.finalize()
+    if mode == "sorted":
+        bits = values.view(np.uint32 if values.dtype == np.float32 else np.uint64)
+        order = np.lexsort((bits, gids))
+        sorted_gids = gids[order]
+        sorted_values = values[order]
+        out = np.zeros(ngroups, dtype=values.dtype)
+        np.add.at(out, sorted_gids, sorted_values)
+        return out
+    raise ValueError(f"unknown sum mode {mode!r}")

@@ -1,0 +1,151 @@
+"""Database session facade: ``db.execute(sql)``.
+
+The session owns the catalog, the SUM configuration, and per-query
+operator timings (the measurement behind Table IV).  DML follows
+MonetDB/PostgreSQL storage semantics — UPDATE masks old row versions
+and appends new ones, physically reordering the table — which is what
+lets :mod:`examples.algorithm1_sql` replay the paper's Algorithm 1
+verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .catalog import Catalog
+from .executor import QueryResult, execute_select
+from .expr import evaluate
+from .operators import OperatorTimings, SumConfig
+from .sql import ast, parse
+from .types import type_from_name
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory SQL database with configurable SUM semantics.
+
+    >>> db = Database(sum_mode="repro")
+    >>> db.execute("CREATE TABLE r (i INT, f DOUBLE)")
+    0
+    >>> db.execute("INSERT INTO r VALUES (1, 0.5), (2, 0.25)")
+    2
+    >>> db.execute("SELECT SUM(f) FROM r").scalar()
+    0.75
+    """
+
+    def __init__(self, sum_mode: str = "ieee", levels: int = 2,
+                 buffer_size: int | None = None):
+        self.catalog = Catalog()
+        self.sum_config = SumConfig(sum_mode, levels, buffer_size)
+        self.last_timings: OperatorTimings | None = None
+
+    # -- public API -------------------------------------------------------
+    def execute(self, sql_text: str):
+        """Run one SQL statement.
+
+        Returns a :class:`QueryResult` for SELECT and the affected row
+        count (an int) for DDL/DML.
+        """
+        stmt = parse(sql_text)
+        if isinstance(stmt, ast.Select):
+            timings = OperatorTimings()
+            result = execute_select(
+                stmt, self.catalog.get, self.sum_config, timings
+            )
+            self.last_timings = timings
+            return result
+        if isinstance(stmt, ast.CreateTable):
+            columns = [
+                (col.name, type_from_name(col.type_name, col.type_args))
+                for col in stmt.columns
+            ]
+            self.catalog.create_table(stmt.name, columns)
+            return 0
+        if isinstance(stmt, ast.DropTable):
+            self.catalog.drop(stmt.name, stmt.if_exists)
+            return 0
+        if isinstance(stmt, ast.Insert):
+            return self._execute_insert(stmt)
+        if isinstance(stmt, ast.Update):
+            return self._execute_update(stmt)
+        if isinstance(stmt, ast.Delete):
+            return self._execute_delete(stmt)
+        raise TypeError(f"unsupported statement {stmt!r}")
+
+    def table(self, name: str):
+        return self.catalog.get(name)
+
+    # -- DML ------------------------------------------------------------------
+    def _execute_insert(self, stmt: ast.Insert) -> int:
+        table = self.catalog.get(stmt.table)
+        columns = list(stmt.columns) or table.schema.names()
+        for row in stmt.rows:
+            if len(row) != len(columns):
+                raise ValueError("INSERT arity mismatch")
+            values = {}
+            for name, expr in zip(columns, row):
+                values[name] = evaluate(expr, {}, {})
+            table.insert_row(values)
+        return len(stmt.rows)
+
+    def _execute_update(self, stmt: ast.Update) -> int:
+        """MonetDB/PostgreSQL-style UPDATE: mask old versions, append new.
+
+        This physically reorders the table — the storage-layer effect
+        behind the paper's Algorithm 1.
+        """
+        table = self.catalog.get(stmt.table)
+        columns, valid = table.physical_scan()
+        types = {n: table.schema.type_of(n) for n in table.schema.names()}
+        if stmt.where is not None:
+            mask = np.asarray(evaluate(stmt.where, columns, types))
+            if mask.shape == ():
+                mask = np.full(len(valid), bool(mask))
+            mask = mask.astype(bool) & valid
+        else:
+            mask = valid.copy()
+        hit = np.flatnonzero(mask)
+        if hit.size == 0:
+            return 0
+        # Compute new values over the hit rows (old values visible).
+        hit_batch = {name: arr[hit] for name, arr in columns.items()}
+        new_values = {}
+        for name, expr in stmt.assignments:
+            result = np.asarray(evaluate(expr, hit_batch, types))
+            if result.shape == ():
+                result = np.full(hit.size, result)
+            new_values[name.lower()] = result
+        # Mask the old versions, then append the new ones at the tail.
+        table.mask_rows(hit)
+        rows = []
+        for i in range(hit.size):
+            row = {}
+            for name in table.schema.names():
+                sql_type = table.schema.type_of(name)
+                if name in new_values:
+                    row[name] = _np_to_python(new_values[name][i])
+                else:
+                    row[name] = sql_type.to_python(hit_batch[name][i])
+            rows.append(row)
+        table.append_versions(rows)
+        return hit.size
+
+    def _execute_delete(self, stmt: ast.Delete) -> int:
+        table = self.catalog.get(stmt.table)
+        columns, valid = table.physical_scan()
+        types = {n: table.schema.type_of(n) for n in table.schema.names()}
+        if stmt.where is not None:
+            mask = np.asarray(evaluate(stmt.where, columns, types))
+            if mask.shape == ():
+                mask = np.full(len(valid), bool(mask))
+            mask = mask.astype(bool) & valid
+        else:
+            mask = valid.copy()
+        return table.mask_rows(np.flatnonzero(mask))
+
+
+def _np_to_python(value):
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

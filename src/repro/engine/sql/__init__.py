@@ -1,0 +1,15 @@
+"""SQL front end: lexer, AST, recursive-descent parser."""
+
+from . import ast
+from .lexer import SqlLexError, Token, tokenize
+from .parser import SqlParseError, parse, parse_expression
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "Token",
+    "SqlLexError",
+    "parse",
+    "parse_expression",
+    "SqlParseError",
+]

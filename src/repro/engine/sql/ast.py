@@ -1,0 +1,202 @@
+"""Abstract syntax tree for the SQL subset.
+
+Expressions render back to canonical text via ``sql()``, which the
+binder uses to match SELECT items against GROUP BY expressions (the
+usual textbook approach for a small engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr",
+    "Literal",
+    "ColumnRef",
+    "Star",
+    "Unary",
+    "Binary",
+    "Between",
+    "FuncCall",
+    "DateLiteral",
+    "IntervalLiteral",
+    "SelectItem",
+    "OrderItem",
+    "Select",
+    "CreateTable",
+    "ColumnDef",
+    "Insert",
+    "Update",
+    "Delete",
+    "DropTable",
+]
+
+
+class Expr:
+    def sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+    def sql(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class DateLiteral(Expr):
+    text: str  # 'YYYY-MM-DD'
+
+    def sql(self) -> str:
+        return f"DATE '{self.text}'"
+
+
+@dataclass(frozen=True)
+class IntervalLiteral(Expr):
+    amount: int
+    unit: str  # DAY | MONTH | YEAR
+
+    def sql(self) -> str:
+        return f"INTERVAL '{self.amount}' {self.unit}"
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    table: str | None = None
+
+    def sql(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    def sql(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # '-' | 'NOT'
+    operand: Expr
+
+    def sql(self) -> str:
+        if self.op.upper() == "NOT":
+            return f"NOT ({self.operand.sql()})"
+        return f"{self.op}({self.operand.sql()})"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # + - * / = <> < <= > >= AND OR
+    left: Expr
+    right: Expr
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.op} {self.right.sql()})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+
+    def sql(self) -> str:
+        return f"({self.operand.sql()} BETWEEN {self.low.sql()} AND {self.high.sql()})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str  # upper-cased
+    args: tuple[Expr, ...]
+
+    def sql(self) -> str:
+        inner = ", ".join(arg.sql() for arg in self.args)
+        return f"{self.name}({inner})"
+
+    AGGREGATE_NAMES = (
+        "SUM", "RSUM", "COUNT", "AVG", "MIN", "MAX",
+        # Paper §I footnote 2: "VARIANCE, STDDEV, and some statistical
+        # functions, all of which can be computed using SUM".
+        "VARIANCE", "VAR_SAMP", "VAR_POP", "STDDEV", "STDDEV_SAMP",
+        "STDDEV_POP",
+    )
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in self.AGGREGATE_NAMES
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+    def output_name(self, index: int) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return f"col{index}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    table: str | None
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    type_args: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]  # empty: schema order
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+    if_exists: bool = False

@@ -1,0 +1,115 @@
+"""Hand-written SQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  Token
+kinds: KEYWORD (upper-cased), IDENT (lower-cased), NUMBER (int/float),
+STRING, OP, EOF.  Comments (``-- ...``) and whitespace are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "SqlLexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "BETWEEN", "IN", "ASC", "DESC",
+    "CREATE", "TABLE", "DROP", "IF", "EXISTS",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    "DATE", "INTERVAL", "DAY", "MONTH", "YEAR",
+    "TRUE", "FALSE", "NULL", "DISTINCT",
+}
+
+_TWO_CHAR_OPS = ("<=", ">=", "<>", "!=")
+_ONE_CHAR_OPS = "+-*/(),=<>.;"
+
+
+class SqlLexError(ValueError):
+    """Lexical error with position information."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | EOF
+    value: object
+    pos: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}:{self.value!r}"
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise SqlLexError(f"unterminated string at {i}")
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token("STRING", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = seen_exp = False
+            while j < n:
+                cj = text[j]
+                if cj.isdigit():
+                    j += 1
+                elif cj == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif cj in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            raw = text[i:j]
+            value = float(raw) if (seen_dot or seen_exp) else int(raw)
+            tokens.append(Token("NUMBER", value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word.lower(), i))
+            i = j
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("OP", "<>" if two == "!=" else two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("OP", ch, i))
+            i += 1
+            continue
+        raise SqlLexError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", None, n))
+    return tokens

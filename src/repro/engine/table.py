@@ -1,0 +1,189 @@
+"""Column-store tables with MonetDB/PostgreSQL-style update semantics.
+
+The paper's Algorithm 1 hinges on a storage-layer detail: in
+PostgreSQL, "the update is implemented as the creation of a new record
+and the masking of the old one, [so] the physical order is different
+in the two queries".  :class:`Table` reproduces exactly that:
+
+* rows live in append-only column arrays plus a validity mask;
+* ``UPDATE`` masks the old row versions and appends the new versions
+  at the tail — *physically reordering* the table;
+* scans return rows in physical order (valid rows only), which is the
+  order aggregation operators consume.
+
+That makes the engine a faithful testbed for the paper's claim: a
+query result over conventional floats may change after an UPDATE that
+did not touch the aggregated column, while the reproducible SUM cannot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .types import SqlType
+
+__all__ = ["Column", "Table", "Schema"]
+
+
+class Column:
+    """One append-only column."""
+
+    def __init__(self, name: str, sql_type: SqlType):
+        self.name = name
+        self.sql_type = sql_type
+        self._data: list = []
+        self._array: np.ndarray | None = None
+
+    def append(self, value) -> None:
+        self._data.append(self.sql_type.coerce(value))
+        self._array = None
+
+    def extend_raw(self, values) -> None:
+        """Append pre-coerced storage values (bulk load fast path)."""
+        self._data.extend(values)
+        self._array = None
+
+    def array(self) -> np.ndarray:
+        """The column as a NumPy array (cached until next append)."""
+        if self._array is None:
+            self._array = np.asarray(self._data, dtype=self.sql_type.numpy_dtype)
+        return self._array
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class Schema:
+    """Ordered (name, type) column list."""
+
+    def __init__(self, columns: list[tuple[str, SqlType]]):
+        seen = set()
+        for name, _ in columns:
+            low = name.lower()
+            if low in seen:
+                raise ValueError(f"duplicate column {name!r}")
+            seen.add(low)
+        self.columns = [(name.lower(), sql_type) for name, sql_type in columns]
+
+    def names(self) -> list[str]:
+        return [name for name, _ in self.columns]
+
+    def type_of(self, name: str) -> SqlType:
+        low = name.lower()
+        for col, sql_type in self.columns:
+            if col == low:
+                return sql_type
+        raise KeyError(f"no column {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in (col for col, _ in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+class Table:
+    """A named table: schema + append-only columns + validity mask."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name.lower()
+        self.schema = schema
+        self._columns = {
+            col_name: Column(col_name, sql_type)
+            for col_name, sql_type in schema.columns
+        }
+        self._valid: list[bool] = []
+
+    # -- size -------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of *visible* rows."""
+        return int(np.count_nonzero(self.valid_mask()))
+
+    @property
+    def physical_rows(self) -> int:
+        """Number of stored row versions (visible + masked)."""
+        return len(self._valid)
+
+    def valid_mask(self) -> np.ndarray:
+        return np.asarray(self._valid, dtype=bool)
+
+    # -- mutation ----------------------------------------------------------
+    def insert_row(self, values: dict) -> None:
+        lowered = {k.lower(): v for k, v in values.items()}
+        missing = [n for n in self.schema.names() if n not in lowered]
+        if missing:
+            raise ValueError(f"missing values for columns {missing}")
+        for col_name, _ in self.schema.columns:
+            self._columns[col_name].append(lowered[col_name])
+        self._valid.append(True)
+
+    def bulk_load(self, columns: dict) -> None:
+        """Load pre-coerced storage arrays (used by the TPC-H generator)."""
+        lowered = {k.lower(): v for k, v in columns.items()}
+        lengths = {len(v) for v in lowered.values()}
+        if len(lengths) != 1:
+            raise ValueError("all columns must have the same length")
+        (nrows,) = lengths
+        for col_name, _ in self.schema.columns:
+            if col_name not in lowered:
+                raise ValueError(f"missing column {col_name!r}")
+            self._columns[col_name].extend_raw(list(lowered[col_name]))
+        self._valid.extend([True] * nrows)
+
+    def mask_rows(self, physical_indices: np.ndarray) -> int:
+        """Delete row versions in place (the masking half of UPDATE)."""
+        count = 0
+        for idx in np.asarray(physical_indices).tolist():
+            if self._valid[idx]:
+                self._valid[idx] = False
+                count += 1
+        return count
+
+    def append_versions(self, rows: list[dict]) -> None:
+        """Append new row versions (the re-insertion half of UPDATE)."""
+        for row in rows:
+            self.insert_row(row)
+
+    # -- access --------------------------------------------------------------
+    def column_array(self, name: str, visible_only: bool = True) -> np.ndarray:
+        arr = self._columns[name.lower()].array()
+        if visible_only:
+            return arr[self.valid_mask()]
+        return arr
+
+    def scan(self) -> dict:
+        """All visible rows in physical order, as column arrays."""
+        mask = self.valid_mask()
+        return {
+            col_name: self._columns[col_name].array()[mask]
+            for col_name, _ in self.schema.columns
+        }
+
+    def physical_scan(self) -> tuple[dict, np.ndarray]:
+        """All row versions plus the validity mask (for UPDATE/DELETE)."""
+        return (
+            {
+                col_name: self._columns[col_name].array()
+                for col_name, _ in self.schema.columns
+            },
+            self.valid_mask(),
+        )
+
+    def rows(self) -> list[tuple]:
+        """Visible rows as Python tuples (natural values)."""
+        data = self.scan()
+        out = []
+        names = self.schema.names()
+        types = [self.schema.type_of(n) for n in names]
+        nrows = len(data[names[0]]) if names else 0
+        for i in range(nrows):
+            out.append(
+                tuple(t.to_python(data[n][i]) for n, t in zip(names, types))
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Table({self.name!r}, {len(self.schema)} cols, "
+            f"{len(self)}/{self.physical_rows} rows)"
+        )

@@ -1,0 +1,210 @@
+"""SQL type system for the mini column-store engine.
+
+Only what the paper's workloads need: integers, floats/doubles,
+DECIMAL(p,s), fixed/variable strings, dates, and booleans.  Each SQL
+type knows its NumPy storage dtype and how to coerce Python literals.
+
+Dates are stored as int32 proleptic-Gregorian ordinals (days), which
+makes date comparison and DATE - INTERVAL arithmetic plain integer
+math — the same trick real column stores use.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fp.decimal_fixed import DecimalType
+
+__all__ = [
+    "SqlType",
+    "IntType",
+    "FloatType",
+    "DecimalSqlType",
+    "VarcharType",
+    "DateType",
+    "BooleanType",
+    "INT",
+    "BIGINT",
+    "FLOAT",
+    "DOUBLE",
+    "DATE",
+    "BOOLEAN",
+    "parse_date",
+    "type_from_name",
+]
+
+
+class SqlType:
+    """Base class for SQL column types."""
+
+    name: str = "?"
+    numpy_dtype: np.dtype = np.dtype(object)
+
+    def coerce(self, value):
+        """Convert a Python literal into the storage representation."""
+        raise NotImplementedError
+
+    def to_python(self, stored):
+        """Convert a stored value back to a natural Python value."""
+        return stored
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+
+@dataclass(frozen=True, eq=False)
+class IntType(SqlType):
+    bits: int = 32
+
+    def __post_init__(self):
+        if self.bits not in (8, 16, 32, 64):
+            raise ValueError("integer width must be 8/16/32/64")
+
+    @property
+    def name(self) -> str:
+        return {8: "TINYINT", 16: "SMALLINT", 32: "INT", 64: "BIGINT"}[self.bits]
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(f"int{self.bits}")
+
+    def coerce(self, value):
+        if value is None:
+            raise ValueError("NULLs are not supported")
+        return int(value)
+
+
+@dataclass(frozen=True, eq=False)
+class FloatType(SqlType):
+    double: bool = True
+
+    @property
+    def name(self) -> str:
+        return "DOUBLE" if self.double else "FLOAT"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(np.float64 if self.double else np.float32)
+
+    def coerce(self, value):
+        return float(value)
+
+
+@dataclass(frozen=True, eq=False)
+class DecimalSqlType(SqlType):
+    precision: int = 18
+    scale: int = 2
+
+    @property
+    def decimal(self) -> DecimalType:
+        return DecimalType(self.precision, self.scale)
+
+    @property
+    def name(self) -> str:
+        return f"DECIMAL({self.precision},{self.scale})"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        # Stored unscaled; the engine tracks the scale in the schema.
+        return np.dtype(np.int64 if self.precision <= 18 else object)
+
+    def coerce(self, value):
+        return self.decimal.unscaled_from_real(value)
+
+    def to_python(self, stored):
+        return float(stored) / 10**self.scale
+
+
+@dataclass(frozen=True, eq=False)
+class VarcharType(SqlType):
+    length: int = 255
+
+    @property
+    def name(self) -> str:
+        return f"VARCHAR({self.length})"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(object)
+
+    def coerce(self, value):
+        s = str(value)
+        if len(s) > self.length:
+            raise ValueError(f"string too long for {self.name}: {s!r}")
+        return s
+
+
+@dataclass(frozen=True, eq=False)
+class DateType(SqlType):
+    name = "DATE"
+    numpy_dtype = np.dtype(np.int32)
+
+    def coerce(self, value):
+        if isinstance(value, datetime.date):
+            return value.toordinal()
+        if isinstance(value, str):
+            return parse_date(value)
+        return int(value)
+
+    def to_python(self, stored):
+        return datetime.date.fromordinal(int(stored))
+
+
+@dataclass(frozen=True, eq=False)
+class BooleanType(SqlType):
+    name = "BOOLEAN"
+    numpy_dtype = np.dtype(bool)
+
+    def coerce(self, value):
+        return bool(value)
+
+
+INT = IntType(32)
+BIGINT = IntType(64)
+FLOAT = FloatType(double=False)
+DOUBLE = FloatType(double=True)
+DATE = DateType()
+BOOLEAN = BooleanType()
+
+
+def parse_date(text: str) -> int:
+    """'YYYY-MM-DD' -> ordinal day number."""
+    year, month, day = (int(part) for part in text.strip().split("-"))
+    return datetime.date(year, month, day).toordinal()
+
+
+def type_from_name(name: str, args: tuple = ()) -> SqlType:
+    """Resolve a SQL type name (as parsed) to a :class:`SqlType`."""
+    upper = name.upper()
+    if upper in ("INT", "INTEGER"):
+        return INT
+    if upper == "SMALLINT":
+        return IntType(16)
+    if upper == "TINYINT":
+        return IntType(8)
+    if upper == "BIGINT":
+        return BIGINT
+    if upper in ("FLOAT", "REAL"):
+        return FLOAT
+    if upper in ("DOUBLE", "DOUBLE PRECISION"):
+        return DOUBLE
+    if upper in ("DECIMAL", "NUMERIC"):
+        precision = args[0] if args else 18
+        scale = args[1] if len(args) > 1 else 0
+        return DecimalSqlType(precision, scale)
+    if upper in ("VARCHAR", "CHAR", "TEXT"):
+        return VarcharType(args[0] if args else 255)
+    if upper == "DATE":
+        return DATE
+    if upper in ("BOOLEAN", "BOOL"):
+        return BOOLEAN
+    raise ValueError(f"unknown SQL type {name!r}")

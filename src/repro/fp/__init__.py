@@ -1,0 +1,75 @@
+"""Floating-point substrate: formats, bit-level helpers, software floats,
+and fixed-point DECIMAL types.
+
+This package contains everything the reproducible-summation core needs
+to reason about number representations, independent of any database
+machinery.
+"""
+
+from .decimal_fixed import (
+    DECIMAL9,
+    DECIMAL18,
+    DECIMAL38,
+    DecimalColumn,
+    DecimalOverflowError,
+    DecimalType,
+    DecimalValue,
+)
+from .formats import (
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    TOY_M2,
+    TOY_M4,
+    FloatFormat,
+    format_by_name,
+    format_for_dtype,
+)
+from .ieee import (
+    bits_to_float,
+    bits_to_float32,
+    exact_pow2,
+    exponent,
+    float32_to_bits,
+    float_to_bits,
+    is_multiple_of,
+    same_bits,
+    ufp,
+    ulp,
+    ulp_at,
+)
+from .softfloat import NEAREST_EVEN, TRUNCATE, RoundingMode, SoftFloat, round_to_format
+
+__all__ = [
+    "BINARY16",
+    "BINARY32",
+    "BINARY64",
+    "TOY_M2",
+    "TOY_M4",
+    "FloatFormat",
+    "format_by_name",
+    "format_for_dtype",
+    "exponent",
+    "ufp",
+    "ulp",
+    "ulp_at",
+    "is_multiple_of",
+    "float_to_bits",
+    "bits_to_float",
+    "float32_to_bits",
+    "bits_to_float32",
+    "same_bits",
+    "exact_pow2",
+    "RoundingMode",
+    "NEAREST_EVEN",
+    "TRUNCATE",
+    "SoftFloat",
+    "round_to_format",
+    "DecimalType",
+    "DecimalValue",
+    "DecimalColumn",
+    "DecimalOverflowError",
+    "DECIMAL9",
+    "DECIMAL18",
+    "DECIMAL38",
+]

@@ -1,0 +1,200 @@
+"""Fixed-point DECIMAL(p) arithmetic.
+
+The paper's evaluation (Figures 7 and 10) compares the reproducible
+floating-point types against ``DECIMAL(p)`` columns, "implemented as
+built-in integers of size 32, 64, and 128 bit for p = 9, 19, 38" —
+the classic decimal-scaled-binary representation.  Summing DECIMALs is
+reproducible as long as no overflow occurs (Section II-C), which is why
+they are the natural baseline: the interesting question is the *cost*
+of the wider integer widths, not their semantics.
+
+This module provides:
+
+* :class:`DecimalType` — a precision/scale descriptor mapping to a
+  storage width exactly like the paper (<=9 digits: 32-bit, <=18: 64-bit,
+  <=38: 128-bit).
+* :class:`DecimalValue` — a scalar fixed-point value.
+* :class:`DecimalColumn` — a columnar container with vectorised
+  summation (NumPy int64 for widths up to 64 bits; exact Python ints —
+  our stand-in for ``__int128`` — beyond that), including overflow
+  detection, since unchecked overflow is precisely what makes integer
+  SUM non-reproducible for mixed-sign data (paper footnote 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+__all__ = [
+    "DecimalOverflowError",
+    "DecimalType",
+    "DecimalValue",
+    "DecimalColumn",
+    "DECIMAL9",
+    "DECIMAL18",
+    "DECIMAL38",
+]
+
+
+class DecimalOverflowError(OverflowError):
+    """Raised when a fixed-point operation exceeds its storage width."""
+
+
+@dataclass(frozen=True)
+class DecimalType:
+    """DECIMAL(precision, scale) descriptor.
+
+    ``precision`` is the total number of decimal digits, ``scale`` the
+    number of digits after the decimal point.  Storage width follows the
+    paper's mapping.
+    """
+
+    precision: int
+    scale: int = 0
+
+    def __post_init__(self):
+        if not 1 <= self.precision <= 38:
+            raise ValueError("precision must be in [1, 38]")
+        if not 0 <= self.scale <= self.precision:
+            raise ValueError("scale must be in [0, precision]")
+
+    @property
+    def storage_bits(self) -> int:
+        """Paper §VI-A: 32/64/128-bit integers for p <= 9 / 18 / 38."""
+        if self.precision <= 9:
+            return 32
+        if self.precision <= 18:
+            return 64
+        return 128
+
+    @property
+    def itemsize(self) -> int:
+        return self.storage_bits // 8
+
+    @property
+    def max_unscaled(self) -> int:
+        """Largest unscaled integer the storage width can hold."""
+        return 2 ** (self.storage_bits - 1) - 1
+
+    @property
+    def name(self) -> str:
+        if self.scale:
+            return f"DECIMAL({self.precision},{self.scale})"
+        return f"DECIMAL({self.precision})"
+
+    # -- conversions ----------------------------------------------------
+    def unscaled_from_real(self, value) -> int:
+        """Quantise a real number onto this type's fixed-point grid."""
+        scaled = Fraction(value) * 10**self.scale
+        unscaled = round(scaled)
+        self.check(unscaled)
+        return int(unscaled)
+
+    def real_from_unscaled(self, unscaled: int) -> Fraction:
+        return Fraction(unscaled, 10**self.scale)
+
+    def check(self, unscaled: int) -> int:
+        if abs(unscaled) > self.max_unscaled:
+            raise DecimalOverflowError(
+                f"{unscaled} does not fit in {self.name} "
+                f"({self.storage_bits}-bit storage)"
+            )
+        return unscaled
+
+    def value(self, real) -> "DecimalValue":
+        return DecimalValue(self, self.unscaled_from_real(real))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+DECIMAL9 = DecimalType(9, 2)
+DECIMAL18 = DecimalType(18, 2)
+DECIMAL38 = DecimalType(38, 2)
+
+
+@dataclass(frozen=True)
+class DecimalValue:
+    """A scalar fixed-point value: ``unscaled * 10**-scale``."""
+
+    dtype: DecimalType
+    unscaled: int
+
+    def __add__(self, other: "DecimalValue") -> "DecimalValue":
+        if other.dtype != self.dtype:
+            raise TypeError("mixed DECIMAL types")
+        return DecimalValue(
+            self.dtype, self.dtype.check(self.unscaled + other.unscaled)
+        )
+
+    def __neg__(self) -> "DecimalValue":
+        return DecimalValue(self.dtype, -self.unscaled)
+
+    def __float__(self) -> float:
+        return float(self.dtype.real_from_unscaled(self.unscaled))
+
+    def exact(self) -> Fraction:
+        return self.dtype.real_from_unscaled(self.unscaled)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DecimalValue({float(self)}, {self.dtype.name})"
+
+
+class DecimalColumn:
+    """Columnar fixed-point storage with vectorised, checked summation."""
+
+    def __init__(self, dtype: DecimalType, unscaled: np.ndarray | list):
+        self.dtype = dtype
+        if dtype.storage_bits <= 64:
+            self.unscaled = np.asarray(unscaled, dtype=np.int64)
+        else:
+            # 128-bit lane: exact Python ints in an object array, our
+            # portable stand-in for GCC's __int128 (paper footnote 9).
+            self.unscaled = np.asarray(
+                [int(v) for v in unscaled], dtype=object
+            )
+
+    @classmethod
+    def from_reals(cls, dtype: DecimalType, values) -> "DecimalColumn":
+        return cls(dtype, [dtype.unscaled_from_real(v) for v in values])
+
+    def __len__(self) -> int:
+        return len(self.unscaled)
+
+    def sum_unscaled(self) -> int:
+        """Exact, overflow-checked sum of the unscaled integers.
+
+        The order of integer addition does not matter (it is exact),
+        which is what makes DECIMAL summation reproducible — *if* the
+        overflow check passes.
+        """
+        if self.dtype.storage_bits <= 64:
+            total = int(np.sum(self.unscaled, dtype=object))
+        else:
+            total = sum(int(v) for v in self.unscaled)
+        return self.dtype.check(total)
+
+    def sum(self) -> DecimalValue:
+        return DecimalValue(self.dtype, self.sum_unscaled())
+
+    def group_sums(self, group_ids: np.ndarray, ngroups: int) -> list:
+        """Per-group checked sums; returns a list of unscaled ints."""
+        totals = [0] * ngroups
+        if self.dtype.storage_bits <= 64:
+            # bincount is exact for int64 inputs summed as float? No —
+            # use add.at on an object accumulation via int64 partial
+            # sums with a final overflow check, falling back to exact
+            # Python ints when the partial sums could wrap.
+            sums = np.zeros(ngroups, dtype=np.int64)
+            with np.errstate(over="raise"):
+                np.add.at(sums, group_ids, self.unscaled)
+            totals = [int(v) for v in sums]
+        else:
+            for gid, v in zip(group_ids, self.unscaled):
+                totals[gid] += int(v)
+        for t in totals:
+            self.dtype.check(t)
+        return totals

@@ -1,0 +1,48 @@
+"""Performance substrate: calibrated cost model of the paper's testbed.
+
+See DESIGN.md §2 for the substitution rationale (Haswell-EP + AVX C++
+-> analytic model + cache simulator, calibrated on the paper's own
+anchor numbers).
+"""
+
+from .cache import SetAssociativeCache, random_access_hit_rate, simulate_hit_rate
+from .costmodel import DTYPES, CostModel, DtypeModel, dtype_model
+from .machine import HASWELL_EP, Machine
+from .perf import (
+    PAPER_ANCHORS,
+    fig4_series,
+    fig6_series,
+    fig7_series,
+    fig8_series,
+    fig9_series,
+    fig10_series,
+    fig11_series,
+    fig12_series,
+    sort_baseline_series,
+    table3_geomeans,
+)
+from .perf import fig6_crossover
+
+__all__ = [
+    "Machine",
+    "HASWELL_EP",
+    "SetAssociativeCache",
+    "random_access_hit_rate",
+    "simulate_hit_rate",
+    "CostModel",
+    "DtypeModel",
+    "DTYPES",
+    "dtype_model",
+    "PAPER_ANCHORS",
+    "fig4_series",
+    "fig6_series",
+    "fig6_crossover",
+    "fig7_series",
+    "fig8_series",
+    "fig9_series",
+    "fig10_series",
+    "fig11_series",
+    "fig12_series",
+    "table3_geomeans",
+    "sort_baseline_series",
+]

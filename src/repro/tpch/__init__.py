@@ -1,0 +1,25 @@
+"""TPC-H workload substrate: deterministic dbgen + the paper's queries."""
+
+from .dbgen import (
+    LINEITEM_COLUMNS,
+    ROWS_PER_SCALE,
+    generate_lineitem_arrays,
+    lineitem_table,
+    load_lineitem,
+    shuffled_copy,
+)
+from .queries import Q1_SQL, Q6_SQL, q1_reference, run_q1, run_q6
+
+__all__ = [
+    "LINEITEM_COLUMNS",
+    "ROWS_PER_SCALE",
+    "generate_lineitem_arrays",
+    "lineitem_table",
+    "load_lineitem",
+    "shuffled_copy",
+    "Q1_SQL",
+    "Q6_SQL",
+    "run_q1",
+    "run_q6",
+    "q1_reference",
+]

@@ -1,0 +1,96 @@
+"""TPC-H queries used by the paper's end-to-end evaluation.
+
+Query 1 is "aggregation-intensive": four SUMs, three AVGs and a COUNT
+over ~95 % of ``lineitem``, grouped by two one-character flags (at most
+six groups).  Table IV measures its CPU time under four SUM
+implementations; :func:`run_q1` reproduces that measurement on our
+engine, and :func:`q1_reference` provides an exact (fsum) oracle.
+
+Query 6 (also shipped) is the no-grouping aggregation counterpart.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..engine.session import Database
+
+__all__ = ["Q1_SQL", "Q6_SQL", "run_q1", "run_q6", "q1_reference"]
+
+Q1_SQL = """
+SELECT
+    l_returnflag,
+    l_linestatus,
+    SUM(l_quantity) AS sum_qty,
+    SUM(l_extendedprice) AS sum_base_price,
+    SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+    SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+    AVG(l_quantity) AS avg_qty,
+    AVG(l_extendedprice) AS avg_price,
+    AVG(l_discount) AS avg_disc,
+    COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+"""
+
+Q6_SQL = """
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01'
+  AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24
+"""
+
+
+def run_q1(db: Database):
+    """Execute Query 1; ``db.last_timings`` holds the operator breakdown."""
+    return db.execute(Q1_SQL)
+
+
+def run_q6(db: Database):
+    """Execute Query 6."""
+    return db.execute(Q6_SQL)
+
+
+def q1_reference(db: Database) -> dict:
+    """Exact Q1 oracle: per-group sums via ``math.fsum``.
+
+    Returns ``{(returnflag, linestatus): {column: exact_value}}``.
+    """
+    table = db.table("lineitem")
+    data = table.scan()
+    import datetime
+
+    cutoff = datetime.date(1998, 12, 1).toordinal() - 90
+    mask = data["l_shipdate"] <= cutoff
+    keys = list(zip(data["l_returnflag"][mask], data["l_linestatus"][mask]))
+    qty = data["l_quantity"][mask]
+    price = data["l_extendedprice"][mask]
+    disc = data["l_discount"][mask]
+    tax = data["l_tax"][mask]
+    disc_price = price * (1 - disc)
+    charge = disc_price * (1 + tax)
+
+    groups: dict = {}
+    for i, key in enumerate(keys):
+        groups.setdefault(key, []).append(i)
+    out = {}
+    for key, idx in groups.items():
+        idx = np.asarray(idx)
+        n = len(idx)
+        out[key] = {
+            "sum_qty": math.fsum(qty[idx]),
+            "sum_base_price": math.fsum(price[idx]),
+            "sum_disc_price": math.fsum(disc_price[idx]),
+            "sum_charge": math.fsum(charge[idx]),
+            "avg_qty": math.fsum(qty[idx]) / n,
+            "avg_price": math.fsum(price[idx]) / n,
+            "avg_disc": math.fsum(disc[idx]) / n,
+            "count_order": n,
+        }
+    return out

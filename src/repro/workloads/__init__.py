@@ -1,0 +1,36 @@
+"""Workload generators: distributions, aggregation pairs, PageRank."""
+
+from .distributions import (
+    DISTRIBUTIONS,
+    algorithm1_values,
+    cancellation,
+    exponential1,
+    uniform12,
+    wide_exponent,
+)
+from .generators import (
+    AggregationWorkload,
+    chunked,
+    make_pairs,
+    permuted,
+    thread_chunks,
+)
+from .pagerank import pagerank, pagerank_experiment, rank_swaps, synthetic_web_graph
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "uniform12",
+    "exponential1",
+    "wide_exponent",
+    "cancellation",
+    "algorithm1_values",
+    "make_pairs",
+    "permuted",
+    "chunked",
+    "thread_chunks",
+    "AggregationWorkload",
+    "pagerank",
+    "synthetic_web_graph",
+    "rank_swaps",
+    "pagerank_experiment",
+]

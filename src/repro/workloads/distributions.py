@@ -1,0 +1,66 @@
+"""Value distributions used across the paper's experiments.
+
+* ``uniform12``      — U[1, 2), the benign case (Table II);
+* ``exponential1``   — Exp(1), mild dynamic range (Table II);
+* ``wide_exponent``  — log-uniform exponents, the "measurements /
+  scientific data" regime Section II-C argues cannot use fixed point;
+* ``cancellation``   — pairs (x, -x) plus noise: adversarial for
+  conventional sums, where rounding errors dominate the tiny true sum;
+* ``algorithm1``     — the paper's 3-row example values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform12",
+    "exponential1",
+    "wide_exponent",
+    "cancellation",
+    "algorithm1_values",
+    "DISTRIBUTIONS",
+]
+
+
+def uniform12(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.uniform(1.0, 2.0, size=n)
+
+
+def exponential1(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.exponential(1.0, size=n)
+
+
+def wide_exponent(n: int, rng: np.random.Generator,
+                  min_exp: int = -40, max_exp: int = 40) -> np.ndarray:
+    """Magnitudes spread log-uniformly over many binades, mixed signs."""
+    exponents = rng.uniform(min_exp, max_exp, size=n)
+    mantissas = rng.uniform(1.0, 2.0, size=n)
+    signs = rng.choice([-1.0, 1.0], size=n)
+    return signs * mantissas * np.exp2(exponents)
+
+
+def cancellation(n: int, rng: np.random.Generator,
+                 noise_scale: float = 1e-12) -> np.ndarray:
+    """Large cancelling pairs plus tiny noise: the true sum is tiny,
+    conventional partial sums are huge, so the result is dominated by
+    order-dependent rounding."""
+    half = n // 2
+    big = rng.uniform(1e8, 1e9, size=half)
+    noise = rng.normal(scale=noise_scale, size=n - 2 * half + half)
+    values = np.concatenate([big, -big, noise[: n - 2 * half]])
+    rng.shuffle(values)
+    return values[:n]
+
+
+def algorithm1_values() -> np.ndarray:
+    """The paper's Algorithm 1 inputs."""
+    return np.array([2.5e-16, 0.999999999999999, 2.5e-16])
+
+
+DISTRIBUTIONS = {
+    "U[1,2)": uniform12,
+    "Exp(1)": exponential1,
+    "wide": wide_exponent,
+    "cancel": cancellation,
+}

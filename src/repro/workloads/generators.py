@@ -1,0 +1,85 @@
+"""Workload generators for the aggregation experiments.
+
+The paper's standard input (Section VI-A): ``n = 2**30`` (key, value)
+pairs, uint32 keys "drawn uniformly at random from the range
+[0, ngroups)" — so the realised group count is slightly below
+``ngroups`` when ``ngroups ~ n``.  Values are doubles/floats from one
+of the :mod:`~repro.workloads.distributions`.
+
+Python benches run the same sweeps at smaller ``n``; the generators are
+seeded so every run (and every permutation of a run) is repeatable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distributions import DISTRIBUTIONS
+
+__all__ = [
+    "make_pairs",
+    "permuted",
+    "chunked",
+    "thread_chunks",
+    "AggregationWorkload",
+]
+
+
+def make_pairs(
+    n: int,
+    ngroups: int,
+    distribution: str = "Exp(1)",
+    dtype=np.float64,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's standard (key, value) workload."""
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, ngroups, size=n, dtype=np.uint32)
+    values = DISTRIBUTIONS[distribution](n, rng).astype(dtype)
+    return keys, values
+
+
+def permuted(keys: np.ndarray, values: np.ndarray, seed: int):
+    """A random physical reordering of the same logical input."""
+    order = np.random.default_rng(seed).permutation(len(keys))
+    return keys[order], values[order]
+
+
+def chunked(values: np.ndarray, chunk: int):
+    """Split a value array into chunks of size ``chunk`` (Figure 6)."""
+    return [values[i : i + chunk] for i in range(0, len(values), chunk)]
+
+
+def thread_chunks(keys: np.ndarray, values: np.ndarray, threads: int):
+    """Contiguous per-thread shares, like the parallel operators use."""
+    bounds = np.linspace(0, len(keys), threads + 1).astype(np.int64)
+    return [
+        (keys[bounds[t] : bounds[t + 1]], values[bounds[t] : bounds[t + 1]])
+        for t in range(threads)
+    ]
+
+
+class AggregationWorkload:
+    """A named, reusable aggregation workload for benches and tests."""
+
+    def __init__(self, n: int, ngroups: int, distribution: str = "Exp(1)",
+                 dtype=np.float64, seed: int = 0):
+        self.n = n
+        self.ngroups = ngroups
+        self.distribution = distribution
+        self.dtype = np.dtype(dtype)
+        self.seed = seed
+        self.keys, self.values = make_pairs(n, ngroups, distribution, dtype, seed)
+
+    def permutation(self, seed: int):
+        return permuted(self.keys, self.values, seed)
+
+    @property
+    def realised_groups(self) -> int:
+        return int(np.unique(self.keys).size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AggregationWorkload(n=2**{int(np.log2(self.n))}, "
+            f"ngroups={self.ngroups}, {self.distribution})"
+        )

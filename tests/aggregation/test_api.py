@@ -1,0 +1,112 @@
+"""Tests for the group_sum facade and GroupByResult."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.aggregation import GroupByResult, group_sum
+from repro.fp.decimal_fixed import DECIMAL18
+
+
+class TestGroupByResult:
+    def test_sorted_by_key(self):
+        result = GroupByResult(np.array([3, 1, 2]), np.array([0.3, 0.1, 0.2]))
+        ordered = result.sorted_by_key()
+        assert ordered.keys.tolist() == [1, 2, 3]
+        assert ordered.sums.tolist() == [0.1, 0.2, 0.3]
+
+    def test_bits_distinguish(self):
+        a = GroupByResult(np.array([1]), np.array([0.1 + 0.2]))
+        b = GroupByResult(np.array([1]), np.array([0.3]))
+        assert not a.bit_equal(b)
+
+    def test_bit_equal_requires_same_keys(self):
+        a = GroupByResult(np.array([1]), np.array([1.0]))
+        b = GroupByResult(np.array([2]), np.array([1.0]))
+        assert not a.bit_equal(b)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            GroupByResult(np.array([1, 2]), np.array([1.0]))
+
+    def test_as_dict(self):
+        result = GroupByResult(np.array([5, 6]), np.array([1.5, 2.5]))
+        assert result.as_dict() == {5: 1.5, 6: 2.5}
+
+    def test_integer_bits(self):
+        result = GroupByResult(np.array([1]), np.array([42]))
+        assert result.bits() == [42]
+
+
+class TestGroupSumFacade:
+    def test_top_level_reexport(self, small_pairs):
+        keys, values = small_pairs
+        a = repro.group_sum(keys, values)
+        b = group_sum(keys, values)
+        assert a.bit_equal(b)
+
+    def test_methods_bit_agree(self, small_pairs):
+        keys, values = small_pairs
+        results = [
+            group_sum(keys, values, method=m, fanout=16)
+            for m in ("auto", "hash", "partition", "sort", "shared")
+        ]
+        for other in results[1:]:
+            assert results[0].bit_equal(other)
+
+    def test_output_sorted_by_default(self, small_pairs):
+        keys, values = small_pairs
+        result = group_sum(keys, values)
+        assert np.all(np.diff(result.keys.astype(np.int64)) > 0)
+
+    def test_reproducible_flag(self, rng):
+        n = 3000
+        keys = rng.integers(0, 5, size=n).astype(np.uint32)
+        big = rng.uniform(1e15, 1e16, size=n)
+        values = big * rng.choice([-1.0, 1.0], size=n)
+        perm = rng.permutation(n)
+        r1 = group_sum(keys, values)
+        r2 = group_sum(keys[perm], values[perm])
+        assert r1.bit_equal(r2)
+        c1 = group_sum(keys, values, reproducible=False)
+        c2 = group_sum(keys[perm], values[perm], reproducible=False)
+        assert not c1.bit_equal(c2)
+
+    def test_float_dtype(self, rng):
+        keys = rng.integers(0, 10, size=500).astype(np.uint32)
+        values = rng.exponential(size=500).astype(np.float32)
+        result = group_sum(keys, values, dtype="float")
+        assert result.sums.dtype == np.float32
+
+    def test_decimal_option(self, rng):
+        keys = rng.integers(0, 5, size=200).astype(np.uint32)
+        cents = rng.integers(0, 1000, size=200)
+        result = group_sum(keys, cents, decimal=DECIMAL18)
+        assert len(result) <= 5
+
+    def test_explicit_buffer_size(self, small_pairs):
+        keys, values = small_pairs
+        a = group_sum(keys, values, buffer_size=16)
+        b = group_sum(keys, values, buffer_size=1024)
+        assert a.bit_equal(b)
+
+    def test_levels_change_bits_on_hard_input(self, wide_values, rng):
+        keys = rng.integers(0, 4, size=len(wide_values)).astype(np.uint32)
+        l2 = group_sum(keys, wide_values, levels=2)
+        l4 = group_sum(keys, wide_values, levels=4)
+        # Higher accuracy levels may legitimately differ in bits...
+        # but each must be self-consistent across permutations.
+        perm = rng.permutation(len(keys))
+        assert l2.bit_equal(group_sum(keys[perm], wide_values[perm], levels=2))
+        assert l4.bit_equal(group_sum(keys[perm], wide_values[perm], levels=4))
+
+    def test_invalid_method(self, small_pairs):
+        keys, values = small_pairs
+        with pytest.raises(ValueError):
+            group_sum(keys, values, method="quantum")
+
+    def test_threads_param(self, small_pairs):
+        keys, values = small_pairs
+        a = group_sum(keys, values, threads=1)
+        b = group_sum(keys, values, threads=7)
+        assert a.bit_equal(b)

@@ -1,0 +1,121 @@
+"""Tests for the streaming bounded-memory GROUP BY SUM."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.aggregation import StreamingGroupSum
+
+
+class TestStreamingGroupSum:
+    def test_batching_invariance(self, small_pairs):
+        keys, values = small_pairs
+        one_shot = repro.group_sum(keys, values)
+        for batch in (1, 7, 100, 5000):
+            stream = StreamingGroupSum()
+            for lo in range(0, len(keys), batch):
+                stream.update(keys[lo : lo + batch], values[lo : lo + batch])
+            assert stream.result().bit_equal(one_shot), batch
+
+    def test_permuted_stream_same_bits(self, small_pairs, rng):
+        keys, values = small_pairs
+        base = StreamingGroupSum()
+        base.update(keys, values)
+        order = rng.permutation(len(keys))
+        other = StreamingGroupSum()
+        for lo in range(0, len(keys), 173):
+            sel = order[lo : lo + 173]
+            other.update(keys[sel], values[sel])
+        assert base.result().bit_equal(other.result())
+
+    def test_merge_streams(self, small_pairs):
+        keys, values = small_pairs
+        one_shot = repro.group_sum(keys, values)
+        workers = [StreamingGroupSum() for _ in range(4)]
+        for i, worker in enumerate(workers):
+            worker.update(keys[i::4], values[i::4])
+        main = workers[0]
+        for worker in workers[1:]:
+            main.merge(worker)
+        assert main.result().bit_equal(one_shot)
+
+    def test_merge_disjoint_key_spaces(self, rng):
+        a = StreamingGroupSum()
+        a.update(np.array([1, 2]), np.array([1.0, 2.0]))
+        b = StreamingGroupSum()
+        b.update(np.array([3, 4]), np.array([3.0, 4.0]))
+        a.merge(b)
+        result = a.result().sorted_by_key()
+        assert result.keys.tolist() == [1, 2, 3, 4]
+        assert result.sums.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_new_keys_mid_stream(self):
+        stream = StreamingGroupSum()
+        stream.update(np.array([0, 0]), np.array([1.0, 2.0]))
+        stream.update(np.array([5, 0]), np.array([10.0, 3.0]))
+        result = stream.result().sorted_by_key()
+        assert result.keys.tolist() == [0, 5]
+        assert result.sums.tolist() == [6.0, 10.0]
+
+    def test_empty_batches_are_noops(self, small_pairs):
+        keys, values = small_pairs
+        stream = StreamingGroupSum()
+        stream.update(np.array([], dtype=keys.dtype), np.array([]))
+        stream.update(keys, values)
+        stream.update(np.array([], dtype=keys.dtype), np.array([]))
+        assert stream.result().bit_equal(repro.group_sum(keys, values))
+
+    def test_merge_empty_stream(self, small_pairs):
+        keys, values = small_pairs
+        stream = StreamingGroupSum()
+        stream.update(keys, values)
+        stream.merge(StreamingGroupSum())
+        assert stream.result().bit_equal(repro.group_sum(keys, values))
+
+    def test_float32(self, rng):
+        keys = rng.integers(0, 10, size=500).astype(np.uint32)
+        values = rng.exponential(size=500).astype(np.float32)
+        stream = StreamingGroupSum(dtype="float")
+        stream.update(keys[:250], values[:250])
+        stream.update(keys[250:], values[250:])
+        assert stream.result().bit_equal(
+            repro.group_sum(keys, values, dtype="float")
+        )
+
+    def test_param_mismatch_rejected(self):
+        a = StreamingGroupSum(levels=2)
+        b = StreamingGroupSum(levels=3)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            StreamingGroupSum().update(np.array([1, 2]), np.array([1.0]))
+
+    def test_len_counts_groups(self, small_pairs):
+        keys, values = small_pairs
+        stream = StreamingGroupSum()
+        stream.update(keys, values)
+        assert len(stream) == len(np.unique(keys))
+
+
+class TestGroupedResize:
+    def test_resize_preserves_states(self, small_pairs):
+        from repro.aggregation import GroupedSummation
+        from repro.core import RsumParams
+
+        keys, values = small_pairs
+        gids = keys.astype(np.int64)
+        grouped = GroupedSummation.from_pairs(RsumParams.double(2), gids, values, 50)
+        before = grouped.state_tuples()
+        grouped.resize(80)
+        assert grouped.state_tuples()[:50] == before
+        assert grouped.finalize()[50:].tolist() == [0.0] * 30
+
+    def test_shrink_rejected(self):
+        from repro.aggregation import GroupedSummation
+        from repro.core import RsumParams
+
+        grouped = GroupedSummation(RsumParams.double(2), 10)
+        with pytest.raises(ValueError):
+            grouped.resize(5)

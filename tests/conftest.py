@@ -1,0 +1,31 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def exp_values(rng):
+    """10k exponential doubles — the standard accuracy workload."""
+    return rng.exponential(size=10_000)
+
+
+@pytest.fixture
+def wide_values(rng):
+    """Values spanning ~50 binades with mixed signs."""
+    exponents = rng.uniform(-25, 25, size=5_000)
+    signs = rng.choice([-1.0, 1.0], size=5_000)
+    return signs * rng.uniform(1.0, 2.0, size=5_000) * np.exp2(exponents)
+
+
+@pytest.fixture
+def small_pairs(rng):
+    """2k (key, value) pairs over 50 groups."""
+    keys = rng.integers(0, 50, size=2_000).astype(np.uint32)
+    values = rng.exponential(size=2_000)
+    return keys, values

@@ -1,0 +1,126 @@
+"""Tests for RsumParams and the Section V-C tuning rules."""
+
+import pytest
+
+from repro.core.params import (
+    DEFAULT_LEVELS,
+    DEFAULT_W,
+    RsumParams,
+    default_w,
+    max_block_size,
+)
+from repro.core.tuning import (
+    DEPTH_THRESHOLD_GROUPS,
+    HASWELL_CACHE,
+    CacheConfig,
+    choose_partition_depth,
+    optimal_buffer_size,
+    working_set_bytes,
+)
+from repro.fp.formats import BINARY32, BINARY64, TOY_M4
+
+
+class TestParams:
+    def test_paper_default_w(self):
+        # "Good choices are 18 and 40 for single and double precision."
+        assert default_w(BINARY32) == 18
+        assert default_w(BINARY64) == 40
+        assert DEFAULT_W["binary64"] == 40
+
+    def test_w_bounded_by_m_minus_2(self):
+        with pytest.raises(ValueError):
+            RsumParams(BINARY64, 2, w=51)
+        RsumParams(BINARY64, 2, w=50)  # ok
+        with pytest.raises(ValueError):
+            RsumParams(BINARY32, 2, w=22)
+
+    def test_w_positive(self):
+        with pytest.raises(ValueError):
+            RsumParams(BINARY64, 2, w=0)
+
+    def test_levels_positive(self):
+        with pytest.raises(ValueError):
+            RsumParams(BINARY64, 0)
+
+    def test_default_levels(self):
+        assert DEFAULT_LEVELS == 2
+        assert RsumParams.double().levels == 2
+
+    def test_nb_max(self):
+        # NB <= 2**(m - W - 1): binary64/W=40 -> 2**11; binary32/W=18 -> 16.
+        assert RsumParams.double().nb_max == 2**11
+        assert RsumParams.single().nb_max == 2**4
+        assert max_block_size(BINARY64, 40) == 2048
+
+    def test_toy_format_default_w(self):
+        assert 1 <= default_w(TOY_M4) <= TOY_M4.mantissa_bits - 2
+
+    def test_for_dtype(self):
+        import numpy as np
+
+        assert RsumParams.for_dtype(np.float32).fmt is BINARY32
+
+
+class TestEquation4:
+    """bsz = min(ceil(|cache| / (ngroups/F * sizeof(T))), bsz_max)."""
+
+    def test_small_groups_hit_cap(self):
+        assert optimal_buffer_size(16, 4) == 1024
+        assert optimal_buffer_size(16, 8) == 1024
+
+    def test_large_groups_shrink_buffer(self):
+        big = optimal_buffer_size(2**10, 4)
+        bigger = optimal_buffer_size(2**14, 4)
+        assert big > bigger >= 1
+
+    def test_fanout_divides_groups(self):
+        assert optimal_buffer_size(2**18, 4, fanout=256) == optimal_buffer_size(
+            2**10, 4
+        )
+
+    def test_power_of_two(self):
+        for ngroups in (3, 100, 5000, 2**20):
+            bsz = optimal_buffer_size(ngroups, 8)
+            assert bsz & (bsz - 1) == 0
+
+    def test_working_set_fits_cache(self):
+        cache = HASWELL_CACHE
+        for ngroups in (2**8, 2**12, 2**16):
+            bsz = optimal_buffer_size(ngroups, 4, cache=cache)
+            if bsz < 1024:  # not capped
+                assert working_set_bytes(ngroups, 4, bsz) <= cache.effective_bytes * 2
+
+    def test_paper_cache_is_about_1mib(self):
+        assert HASWELL_CACHE.effective_bytes == pytest.approx(2**20, rel=0.05)
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            optimal_buffer_size(0, 4)
+
+    def test_custom_cache(self):
+        tiny = CacheConfig(llc_bytes=2**16, cores=1, effective_fraction=1.0)
+        assert optimal_buffer_size(2**10, 8, cache=tiny) <= 8
+
+
+class TestDepthRule:
+    def test_paper_thresholds(self):
+        # Figure 9: d=0 below 2**10 groups, d=1 up to 2**18, d=2 beyond.
+        assert choose_partition_depth(2**9) == 0
+        assert choose_partition_depth(2**10) == 0
+        assert choose_partition_depth(2**11) == 1
+        assert choose_partition_depth(2**18) == 1
+        assert choose_partition_depth(2**19) == 2
+
+    def test_threshold_constant(self):
+        assert DEPTH_THRESHOLD_GROUPS == 2**10
+
+    def test_max_depth_cap(self):
+        assert choose_partition_depth(2**40, max_depth=2) == 2
+
+    def test_small_fanout(self):
+        assert choose_partition_depth(2**12, fanout=16) == 1
+        assert choose_partition_depth(2**16, fanout=16) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            choose_partition_depth(0)

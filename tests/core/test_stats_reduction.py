@@ -1,0 +1,207 @@
+"""Tests for reproducible statistics (stats.py) and reductions (reduction.py)."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ReproducibleSummer,
+    butterfly_reduce,
+    linear_reduce,
+    reproducible_dot,
+    reproducible_mean,
+    reproducible_std,
+    reproducible_variance,
+    simulate_mimd_sum,
+    tree_reduce,
+    two_product,
+    two_product_array,
+)
+from repro.core.params import RsumParams
+from repro.core.state import SummationState
+from repro.fp.ieee import same_bits
+
+# TwoProduct's exactness requires no under/overflow in the product or
+# its error term (Dekker's classical precondition): keep magnitudes
+# well inside the safe band.
+moderate = st.floats(min_value=-1e12, max_value=1e12,
+                     allow_nan=False, allow_infinity=False).filter(
+    lambda x: x == 0 or abs(x) > 1e-12
+)
+
+
+class TestTwoProduct:
+    @given(moderate, moderate)
+    @settings(max_examples=200, deadline=None)
+    def test_exactness(self, a, b):
+        p, e = two_product(a, b)
+        assert Fraction(p) + Fraction(e) == Fraction(a) * Fraction(b)
+
+    def test_classic_case(self):
+        p, e = two_product(1.0 + 2.0**-30, 1.0 + 2.0**-30)
+        assert Fraction(p) + Fraction(e) == Fraction(1.0 + 2.0**-30) ** 2
+        assert e != 0.0  # the square is not representable
+
+    def test_array_matches_scalar(self, rng):
+        a = rng.normal(size=200)
+        b = rng.normal(size=200)
+        p, e = two_product_array(a, b)
+        for i in range(200):
+            ps, es = two_product(a[i], b[i])
+            assert p[i] == ps and e[i] == es
+
+
+class TestReproducibleDot:
+    def test_permutation_invariance(self, rng):
+        x = rng.normal(size=3000) * np.exp2(rng.uniform(-10, 10, 3000))
+        y = rng.normal(size=3000)
+        base = reproducible_dot(x, y)
+        for seed in range(3):
+            order = np.random.default_rng(seed).permutation(3000)
+            assert reproducible_dot(x[order], y[order]) == base
+
+    def test_accuracy_beats_npdot_on_cancellation(self):
+        x = np.array([1e8, 1.0, -1e8, 1e-8])
+        y = np.array([1e8, 1.0, 1e8, 1.0])
+        exact = float(
+            sum(Fraction(a) * Fraction(b) for a, b in zip(x, y))
+        )
+        ours = reproducible_dot(x, y, levels=3)
+        assert abs(ours - exact) <= abs(float(np.dot(x, y)) - exact)
+
+    def test_small_exact(self):
+        assert reproducible_dot([1.0, 2.0], [3.0, 4.0]) == 11.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            reproducible_dot([1.0], [1.0, 2.0])
+
+    def test_matches_fsum_of_exact_products(self, rng):
+        x = rng.normal(size=500)
+        y = rng.normal(size=500)
+        exact = sum(
+            (Fraction(a) * Fraction(b) for a, b in zip(x, y)), Fraction(0)
+        )
+        assert abs(reproducible_dot(x, y, levels=3) - float(exact)) < 1e-12
+
+
+class TestMoments:
+    def test_mean_permutation_invariant(self, exp_values, rng):
+        base = reproducible_mean(exp_values)
+        order = rng.permutation(len(exp_values))
+        assert reproducible_mean(exp_values[order]) == base
+
+    def test_mean_matches_numpy_closely(self, exp_values):
+        assert reproducible_mean(exp_values) == pytest.approx(
+            float(np.mean(exp_values)), rel=1e-12
+        )
+
+    def test_variance_permutation_invariant(self, exp_values, rng):
+        base = reproducible_variance(exp_values, ddof=1)
+        order = rng.permutation(len(exp_values))
+        assert reproducible_variance(exp_values[order], ddof=1) == base
+
+    def test_variance_matches_numpy(self, exp_values):
+        assert reproducible_variance(exp_values) == pytest.approx(
+            float(np.var(exp_values)), rel=1e-9
+        )
+        assert reproducible_variance(exp_values, ddof=1) == pytest.approx(
+            float(np.var(exp_values, ddof=1)), rel=1e-9
+        )
+
+    def test_variance_nonnegative_on_constant(self):
+        values = np.full(100, 3.14159)
+        assert reproducible_variance(values) >= 0.0
+
+    def test_std(self, exp_values):
+        assert reproducible_std(exp_values) == math.sqrt(
+            reproducible_variance(exp_values)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reproducible_mean([])
+        with pytest.raises(ValueError):
+            reproducible_variance([1.0], ddof=1)
+
+
+class TestReductionTopologies:
+    def make_states(self, values, parts):
+        states = []
+        for chunk in np.array_split(values, parts):
+            summer = ReproducibleSummer()
+            summer.add_array(chunk)
+            states.append(summer.state)
+        return states
+
+    def test_all_topologies_identical(self, exp_values):
+        for parts in (1, 2, 5, 8, 13):
+            states = self.make_states(exp_values, parts)
+            linear = linear_reduce(states)
+            binary = tree_reduce(states, 2)
+            quad = tree_reduce(states, 4)
+            butterfly = butterfly_reduce(states)
+            reference = linear.state_tuple()
+            assert binary.state_tuple() == reference, parts
+            assert quad.state_tuple() == reference, parts
+            assert butterfly.state_tuple() == reference, parts
+
+    def test_reduce_preserves_inputs(self, exp_values):
+        states = self.make_states(exp_values, 4)
+        before = [s.state_tuple() for s in states]
+        tree_reduce(states)
+        assert [s.state_tuple() for s in states] == before
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            linear_reduce([])
+
+    def test_mismatched_params_rejected(self):
+        a = SummationState(RsumParams.double(2))
+        b = SummationState(RsumParams.double(3))
+        with pytest.raises(ValueError):
+            tree_reduce([a, b])
+
+    def test_arity_validation(self):
+        a = SummationState(RsumParams.double(2))
+        with pytest.raises(ValueError):
+            tree_reduce([a], arity=1)
+
+
+class TestMimdSimulation:
+    def test_worker_count_invariance(self, exp_values):
+        reference = simulate_mimd_sum(exp_values, workers=1)
+        for workers in (2, 3, 8, 16):
+            assert same_bits(
+                simulate_mimd_sum(exp_values, workers=workers), reference
+            )
+
+    def test_topology_invariance(self, exp_values):
+        reference = simulate_mimd_sum(exp_values, topology="linear")
+        for topology in ("tree", "butterfly"):
+            assert same_bits(
+                simulate_mimd_sum(exp_values, topology=topology), reference
+            )
+
+    def test_work_stealing_invariance(self, exp_values):
+        reference = simulate_mimd_sum(exp_values, workers=8)
+        for seed in (1, 2, 3):
+            assert same_bits(
+                simulate_mimd_sum(exp_values, workers=8, chunk_seed=seed),
+                reference,
+            )
+
+    def test_matches_plain_sum(self, exp_values):
+        from repro.core import reproducible_sum
+
+        assert same_bits(
+            simulate_mimd_sum(exp_values), reproducible_sum(exp_values)
+        )
+
+    def test_unknown_topology(self, exp_values):
+        with pytest.raises(ValueError):
+            simulate_mimd_sum(exp_values, topology="ring")

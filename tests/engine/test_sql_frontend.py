@@ -1,0 +1,177 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.engine.sql import SqlLexError, SqlParseError, ast, parse, parse_expression, tokenize
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT foo FROM Bar")
+        kinds = [(t.kind, t.value) for t in tokens[:-1]]
+        assert kinds == [
+            ("KEYWORD", "SELECT"),
+            ("IDENT", "foo"),
+            ("KEYWORD", "FROM"),
+            ("IDENT", "bar"),
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 2.5e-16 1e10 .5")
+        values = [t.value for t in tokens[:-1]]
+        assert values == [42, 3.14, 2.5e-16, 1e10, 0.5]
+        assert isinstance(values[0], int)
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- comment\n, 2")
+        assert len(tokens) == 5  # SELECT 1 , 2 EOF
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b <> c != d >= e")
+        ops = [t.value for t in tokens if t.kind == "OP"]
+        assert ops == ["<=", "<>", "<>", ">="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlLexError):
+            tokenize("SELECT @foo")
+
+
+class TestExpressionParsing:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.Unary) and expr.op == "NOT"
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 0.05 AND 0.07")
+        assert isinstance(expr, ast.Between)
+
+    def test_unary_minus_folds_literals(self):
+        expr = parse_expression("-5")
+        assert expr == ast.Literal(-5)
+
+    def test_date_literal(self):
+        expr = parse_expression("DATE '1998-12-01'")
+        assert expr == ast.DateLiteral("1998-12-01")
+
+    def test_interval(self):
+        expr = parse_expression("DATE '1998-12-01' - INTERVAL '90' DAY")
+        assert isinstance(expr.right, ast.IntervalLiteral)
+        assert expr.right.amount == 90
+
+    def test_function_call(self):
+        expr = parse_expression("SUM(x * (1 - y))")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "SUM" and expr.is_aggregate
+
+    def test_rsum_with_level(self):
+        expr = parse_expression("RSUM(f, 3)")
+        assert expr.name == "RSUM" and len(expr.args) == 2
+
+    def test_qualified_column(self):
+        expr = parse_expression("lineitem.l_quantity")
+        assert expr == ast.ColumnRef("l_quantity", table="lineitem")
+
+    def test_sql_roundtrip_text(self):
+        text = "((a + b) * 2)"
+        assert parse_expression(text).sql() == "((a + b) * 2)"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlParseError):
+            parse_expression("1 + 2 extra oops")
+
+
+class TestStatementParsing:
+    def test_select_full_clauses(self):
+        stmt = parse(
+            "SELECT k, SUM(v) AS s FROM t WHERE v > 0 GROUP BY k "
+            "HAVING SUM(v) > 1 ORDER BY s DESC LIMIT 5"
+        )
+        assert isinstance(stmt, ast.Select)
+        assert stmt.table == "t"
+        assert stmt.items[1].alias == "s"
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 5
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_implicit_alias(self):
+        stmt = parse("SELECT v total FROM t")
+        assert stmt.items[0].alias == "total"
+
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE r (i INT, f DOUBLE, d DECIMAL(12, 2), "
+            "s VARCHAR(10), dt DATE)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert [c.name for c in stmt.columns] == ["i", "f", "d", "s", "dt"]
+        assert stmt.columns[2].type_args == (12, 2)
+        assert stmt.columns[4].type_name == "DATE"
+
+    def test_insert_multi_row(self):
+        stmt = parse("INSERT INTO r VALUES (1, 2.5e-16), (2, 0.999)")
+        assert isinstance(stmt, ast.Insert)
+        assert len(stmt.rows) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse("INSERT INTO r (f, i) VALUES (0.5, 1)")
+        assert stmt.columns == ("f", "i")
+
+    def test_update(self):
+        stmt = parse("UPDATE r SET i = i + 1 WHERE i = 2")
+        assert isinstance(stmt, ast.Update)
+        assert stmt.assignments[0][0] == "i"
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM r WHERE f < 0")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_drop(self):
+        stmt = parse("DROP TABLE IF EXISTS r")
+        assert stmt.if_exists
+
+    def test_semicolon_allowed(self):
+        parse("SELECT 1;")
+
+    def test_garbage_statement(self):
+        with pytest.raises(SqlParseError):
+            parse("EXPLAIN SELECT 1")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT 1 SELECT 2")
+
+    def test_algorithm1_statements_parse(self):
+        for sql in [
+            "CREATE TABLE R (i int, f float)",
+            "INSERT INTO R VALUES (1, 2.5e-16)",
+            "SELECT SUM(f) FROM R",
+            "UPDATE R SET i = i + 1 WHERE i = 2",
+        ]:
+            parse(sql)

@@ -1,0 +1,113 @@
+"""Tests for the SQL statistical aggregates (VARIANCE/STDDEV family).
+
+The paper's footnote 2: every statistical aggregate reduces to SUM, so
+a reproducible SUM makes them all reproducible.  These tests check the
+arithmetic against NumPy and the reproducibility against physical
+reorderings.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+
+
+def make_db(sum_mode, keys, values):
+    db = Database(sum_mode=sum_mode)
+    db.execute("CREATE TABLE t (k INT, v DOUBLE)")
+    db.table("t").bulk_load({"k": keys.astype(np.int64), "v": values})
+    return db
+
+
+@pytest.fixture
+def data(rng):
+    keys = rng.integers(0, 8, size=4000).astype(np.int64)
+    values = rng.normal(loc=5.0, scale=2.0, size=4000)
+    return keys, values
+
+
+class TestVarianceArithmetic:
+    def test_var_samp_matches_numpy(self, data):
+        keys, values = data
+        db = make_db("repro", keys, values)
+        res = db.execute("SELECT k, VAR_SAMP(v) FROM t GROUP BY k ORDER BY k")
+        for k, var in res.rows():
+            expected = float(np.var(values[keys == k], ddof=1))
+            assert var == pytest.approx(expected, rel=1e-9)
+
+    def test_var_pop_matches_numpy(self, data):
+        keys, values = data
+        db = make_db("repro", keys, values)
+        res = db.execute("SELECT k, VAR_POP(v) FROM t GROUP BY k ORDER BY k")
+        for k, var in res.rows():
+            expected = float(np.var(values[keys == k]))
+            assert var == pytest.approx(expected, rel=1e-9)
+
+    def test_variance_is_sample_variance(self, data):
+        keys, values = data
+        db = make_db("repro", keys, values)
+        a = db.execute("SELECT VARIANCE(v) FROM t").scalar()
+        b = db.execute("SELECT VAR_SAMP(v) FROM t").scalar()
+        assert a == b
+
+    def test_stddev_is_sqrt_of_variance(self, data):
+        keys, values = data
+        db = make_db("repro", keys, values)
+        std = db.execute("SELECT STDDEV(v) FROM t").scalar()
+        var = db.execute("SELECT VARIANCE(v) FROM t").scalar()
+        assert std == math.sqrt(var)
+
+    def test_stddev_pop(self, data):
+        keys, values = data
+        db = make_db("repro", keys, values)
+        std = db.execute("SELECT STDDEV_POP(v) FROM t").scalar()
+        assert std == pytest.approx(float(np.std(values)), rel=1e-9)
+
+    def test_single_row_group(self):
+        db = Database(sum_mode="repro")
+        db.execute("CREATE TABLE t (k INT, v DOUBLE)")
+        db.execute("INSERT INTO t VALUES (1, 5.0)")
+        # ddof=1 with one row: denominator clamps to 1 -> variance 0.
+        assert db.execute("SELECT VAR_SAMP(v) FROM t").scalar() == 0.0
+
+
+class TestVarianceReproducibility:
+    def test_repro_variance_stable_under_reorder(self, data, rng):
+        keys, values = data
+        db = make_db("repro", keys, values)
+        before = db.execute(
+            "SELECT k, VARIANCE(v), STDDEV(v) FROM t GROUP BY k ORDER BY k"
+        ).rows()
+        order = rng.permutation(len(keys))
+        db2 = make_db("repro", keys[order], values[order])
+        after = db2.execute(
+            "SELECT k, VARIANCE(v), STDDEV(v) FROM t GROUP BY k ORDER BY k"
+        ).rows()
+        assert before == after  # exact equality, not approx
+
+    def test_ieee_variance_can_differ_under_reorder(self, rng):
+        # Adversarial values make the Sum-of-squares cancellation bite.
+        keys = np.zeros(4000, dtype=np.int64)
+        big = rng.uniform(1e7, 1e8, size=2000)
+        values = np.empty(4000)
+        values[0::2] = big
+        values[1::2] = -big + rng.uniform(0, 1, size=2000)
+        db = make_db("ieee", keys, values)
+        before = db.execute("SELECT VARIANCE(v) FROM t").scalar()
+        diffs = 0
+        for seed in range(4):
+            order = np.random.default_rng(seed).permutation(4000)
+            db2 = make_db("ieee", keys[order], values[order])
+            if db2.execute("SELECT VARIANCE(v) FROM t").scalar() != before:
+                diffs += 1
+        assert diffs > 0
+
+    def test_variance_in_having(self, data):
+        keys, values = data
+        db = make_db("repro", keys, values)
+        res = db.execute(
+            "SELECT k FROM t GROUP BY k HAVING VARIANCE(v) > 0 ORDER BY k"
+        )
+        assert len(res) == 8

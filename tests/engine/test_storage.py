@@ -1,0 +1,132 @@
+"""Tests for types, tables, and MonetDB-style storage semantics."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Schema, Table
+from repro.engine.types import (
+    BIGINT,
+    DATE,
+    DOUBLE,
+    FLOAT,
+    INT,
+    DecimalSqlType,
+    IntType,
+    VarcharType,
+    parse_date,
+    type_from_name,
+)
+
+
+class TestTypes:
+    def test_type_from_name(self):
+        assert type_from_name("int") is INT
+        assert type_from_name("BIGINT") is BIGINT
+        assert type_from_name("double") == DOUBLE
+        assert type_from_name("real") == FLOAT
+        assert isinstance(type_from_name("decimal", (12, 2)), DecimalSqlType)
+        assert type_from_name("varchar", (5,)).length == 5
+        assert type_from_name("date") is DATE
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            type_from_name("blob")
+
+    def test_int_coercion(self):
+        assert INT.coerce(3.0) == 3
+        assert INT.numpy_dtype == np.int32
+
+    def test_varchar_length_check(self):
+        vc = VarcharType(3)
+        assert vc.coerce("abc") == "abc"
+        with pytest.raises(ValueError):
+            vc.coerce("abcd")
+
+    def test_date_roundtrip(self):
+        ordinal = DATE.coerce("1998-12-01")
+        assert DATE.to_python(ordinal) == datetime.date(1998, 12, 1)
+        assert parse_date("1992-01-01") == datetime.date(1992, 1, 1).toordinal()
+
+    def test_decimal_scale(self):
+        dec = DecimalSqlType(12, 2)
+        assert dec.coerce(12.34) == 1234
+        assert dec.to_python(1234) == 12.34
+
+    def test_int_width_validation(self):
+        with pytest.raises(ValueError):
+            IntType(24)
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([("a", INT), ("A", DOUBLE)])
+
+    def test_lookup(self):
+        schema = Schema([("k", INT), ("v", DOUBLE)])
+        assert schema.type_of("V") == DOUBLE
+        assert "k" in schema
+        with pytest.raises(KeyError):
+            schema.type_of("missing")
+
+
+class TestTableStorage:
+    def make_table(self):
+        return Table("r", Schema([("i", INT), ("f", DOUBLE)]))
+
+    def test_insert_and_scan(self):
+        table = self.make_table()
+        table.insert_row({"i": 1, "f": 0.5})
+        table.insert_row({"i": 2, "f": 1.5})
+        data = table.scan()
+        assert data["i"].tolist() == [1, 2]
+        assert data["f"].tolist() == [0.5, 1.5]
+
+    def test_missing_column_rejected(self):
+        table = self.make_table()
+        with pytest.raises(ValueError):
+            table.insert_row({"i": 1})
+
+    def test_update_semantics_mask_and_append(self):
+        """The storage behaviour behind Algorithm 1: masked + appended."""
+        table = self.make_table()
+        for i, f in [(1, 0.1), (2, 0.2), (3, 0.3)]:
+            table.insert_row({"i": i, "f": f})
+        table.mask_rows(np.array([1]))
+        table.append_versions([{"i": 2, "f": 0.2}])
+        assert len(table) == 3
+        assert table.physical_rows == 4
+        # Physical scan order changed: row 2 now comes last.
+        assert table.scan()["i"].tolist() == [1, 3, 2]
+
+    def test_mask_counts_only_visible(self):
+        table = self.make_table()
+        table.insert_row({"i": 1, "f": 0.0})
+        assert table.mask_rows(np.array([0])) == 1
+        assert table.mask_rows(np.array([0])) == 0
+
+    def test_bulk_load(self):
+        table = self.make_table()
+        table.bulk_load({"i": np.array([1, 2]), "f": np.array([0.5, 1.5])})
+        assert len(table) == 2
+
+    def test_bulk_load_ragged_rejected(self):
+        table = self.make_table()
+        with pytest.raises(ValueError):
+            table.bulk_load({"i": np.array([1]), "f": np.array([0.5, 1.5])})
+
+    def test_rows_natural_values(self):
+        table = Table("t", Schema([("d", DATE), ("x", DOUBLE)]))
+        table.insert_row({"d": "1998-09-02", "x": 1.5})
+        rows = table.rows()
+        assert rows == [(datetime.date(1998, 9, 2), 1.5)]
+
+    def test_column_array_visibility(self):
+        table = self.make_table()
+        table.insert_row({"i": 1, "f": 0.5})
+        table.insert_row({"i": 2, "f": 1.5})
+        table.mask_rows(np.array([0]))
+        assert table.column_array("f").tolist() == [1.5]
+        assert table.column_array("f", visible_only=False).tolist() == [0.5, 1.5]

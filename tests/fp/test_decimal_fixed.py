@@ -1,0 +1,122 @@
+"""Tests for repro.fp.decimal_fixed (DECIMAL(p) fixed-point types)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.decimal_fixed import (
+    DECIMAL9,
+    DECIMAL18,
+    DECIMAL38,
+    DecimalColumn,
+    DecimalOverflowError,
+    DecimalType,
+    DecimalValue,
+)
+
+
+class TestDecimalType:
+    def test_storage_widths_match_paper(self):
+        # Paper §VI-A: 32/64/128-bit for p = 9, 19(18), 38.
+        assert DecimalType(9).storage_bits == 32
+        assert DecimalType(18).storage_bits == 64
+        assert DecimalType(19).storage_bits == 128
+        assert DecimalType(38).storage_bits == 128
+
+    def test_itemsize(self):
+        assert DECIMAL9.itemsize == 4
+        assert DECIMAL18.itemsize == 8
+        assert DECIMAL38.itemsize == 16
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DecimalType(0)
+        with pytest.raises(ValueError):
+            DecimalType(39)
+        with pytest.raises(ValueError):
+            DecimalType(5, 6)
+
+    def test_quantisation(self):
+        assert DECIMAL9.unscaled_from_real(12.34) == 1234
+        assert DECIMAL9.unscaled_from_real(12.345) in (1234, 1235)  # banker's
+        assert DECIMAL9.real_from_unscaled(1234) == Fraction(1234, 100)
+
+    def test_salary_use_case(self):
+        # Section II-C's motivating case: cents between $1k and $1M.
+        salary = DecimalType(12, 2)
+        assert float(salary.value(123456.78)) == 123456.78
+
+    def test_overflow_check(self):
+        with pytest.raises(DecimalOverflowError):
+            DECIMAL9.check(2**31)
+        assert DECIMAL9.check(2**31 - 1) == 2**31 - 1
+
+    def test_name(self):
+        assert DECIMAL18.name == "DECIMAL(18,2)"
+        assert DecimalType(9).name == "DECIMAL(9)"
+
+
+class TestDecimalValue:
+    def test_addition_exact(self):
+        a = DECIMAL9.value(0.1)
+        b = DECIMAL9.value(0.2)
+        assert float(a + b) == pytest.approx(0.3)
+        assert (a + b).exact() == Fraction(3, 10)
+
+    def test_addition_overflow(self):
+        big = DecimalValue(DECIMAL9, DECIMAL9.max_unscaled)
+        with pytest.raises(DecimalOverflowError):
+            big + DECIMAL9.value(1)
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(TypeError):
+            DECIMAL9.value(1) + DECIMAL18.value(1)
+
+    def test_negation(self):
+        assert float(-DECIMAL9.value(1.5)) == -1.5
+
+    def test_addition_is_order_independent(self):
+        values = [DECIMAL18.value(v) for v in (0.1, 0.2, 0.3, -0.4)]
+        forward = values[0]
+        for v in values[1:]:
+            forward = forward + v
+        backward = values[-1]
+        for v in reversed(values[:-1]):
+            backward = backward + v
+        assert forward.unscaled == backward.unscaled
+
+
+class TestDecimalColumn:
+    def test_sum_exact(self):
+        col = DecimalColumn.from_reals(DECIMAL18, [0.1] * 10)
+        assert col.sum_unscaled() == 100
+        assert float(col.sum()) == 1.0
+
+    def test_sum_128bit_path(self):
+        col = DecimalColumn.from_reals(DECIMAL38, [1e15, 2e15, -0.5e15])
+        assert col.sum_unscaled() == int(2.5e17)
+
+    def test_sum_overflow_detected(self):
+        col = DecimalColumn(DECIMAL9, [DECIMAL9.max_unscaled, 1])
+        with pytest.raises(DecimalOverflowError):
+            col.sum_unscaled()
+
+    def test_group_sums(self):
+        col = DecimalColumn(DECIMAL18, [100, 200, 300, 400])
+        gids = np.array([0, 1, 0, 1])
+        assert col.group_sums(gids, 2) == [400, 600]
+
+    def test_group_sums_128(self):
+        col = DecimalColumn(DECIMAL38, [10**20, 2 * 10**20])
+        assert col.group_sums(np.array([0, 0]), 1) == [3 * 10**20]
+
+    def test_len(self):
+        assert len(DecimalColumn(DECIMAL9, [1, 2, 3])) == 3
+
+    @given(st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=50))
+    def test_sum_matches_python(self, unscaled):
+        col = DecimalColumn(DECIMAL18, unscaled)
+        assert col.sum_unscaled() == sum(unscaled)

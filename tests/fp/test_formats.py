@@ -1,0 +1,114 @@
+"""Tests for repro.fp.formats."""
+
+import numpy as np
+import pytest
+
+from repro.fp.formats import (
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    TOY_M2,
+    TOY_M4,
+    FloatFormat,
+    format_by_name,
+    format_for_dtype,
+)
+
+
+class TestFormatConstants:
+    def test_binary64_parameters(self):
+        assert BINARY64.mantissa_bits == 52
+        assert BINARY64.min_exponent == -1022
+        assert BINARY64.max_exponent == 1023
+        assert BINARY64.precision == 53
+
+    def test_binary32_parameters(self):
+        assert BINARY32.mantissa_bits == 23
+        assert BINARY32.min_exponent == -126
+        assert BINARY32.max_exponent == 127
+
+    def test_binary16_parameters(self):
+        assert BINARY16.mantissa_bits == 10
+        assert BINARY16.precision == 11
+
+    def test_machine_epsilon(self):
+        assert BINARY64.machine_epsilon == 2.0**-52
+        assert BINARY32.machine_epsilon == 2.0**-23
+
+    def test_max_value_binary64(self):
+        import sys
+
+        assert BINARY64.max_value == sys.float_info.max
+
+    def test_min_normal(self):
+        import sys
+
+        assert BINARY64.min_normal == sys.float_info.min
+
+    def test_itemsize_native(self):
+        assert BINARY64.itemsize == 8
+        assert BINARY32.itemsize == 4
+        assert BINARY16.itemsize == 2
+
+    def test_itemsize_toy(self):
+        assert TOY_M2.itemsize >= 1
+
+
+class TestRepresentable:
+    def test_small_integers_representable(self):
+        for value in (0.0, 1.0, -2.0, 0.5, 0.75):
+            assert BINARY64.representable(value)
+
+    def test_toy_m2_representable(self):
+        # m = 2: mantissas 1.00, 1.01, 1.10, 1.11 times powers of two.
+        assert TOY_M2.representable(1.25)
+        assert TOY_M2.representable(1.5)
+        assert not TOY_M2.representable(1.125)
+
+    def test_toy_m4_figure2_values(self):
+        # Figure 2's example values all fit an m = 4 format.
+        for value in (1.3125, 9.0, 4.25, 14.0):
+            assert TOY_M4.representable(value)
+
+    def test_half_precision_paper_example(self):
+        # Section III-B: 26.046875 and 2.8125 fit an 11-bit significand.
+        assert BINARY16.representable(26.046875)
+        assert BINARY16.representable(2.8125)
+        assert BINARY16.representable(28.859375)
+
+    def test_infinities_and_nan(self):
+        assert BINARY64.representable(float("inf"))
+        assert not BINARY64.representable(float("nan"))
+
+    def test_exponent_overflow(self):
+        assert not TOY_M2.representable(2.0**100)
+
+    def test_subnormal_handling(self):
+        assert BINARY64.representable(5e-324)  # min subnormal
+        assert not BINARY32.representable(5e-324)
+
+
+class TestLookup:
+    def test_format_for_dtype(self):
+        assert format_for_dtype(np.float64) is BINARY64
+        assert format_for_dtype(np.float32) is BINARY32
+        assert format_for_dtype(np.dtype("float16")) is BINARY16
+
+    def test_format_for_dtype_rejects_int(self):
+        with pytest.raises(KeyError):
+            format_for_dtype(np.int64)
+
+    def test_format_by_name_aliases(self):
+        assert format_by_name("double") is BINARY64
+        assert format_by_name("float") is BINARY32
+        assert format_by_name("BINARY64") is BINARY64
+        assert format_by_name("float32") is BINARY32
+
+    def test_format_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            format_by_name("quad")
+
+    def test_custom_format(self):
+        fmt = FloatFormat("custom", 7, -10, 10)
+        assert fmt.precision == 8
+        assert fmt.machine_epsilon == 2.0**-7

@@ -1,0 +1,115 @@
+"""Tests for repro.fp.ieee (bit-level helpers)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.formats import BINARY32, BINARY64
+from repro.fp.ieee import (
+    bits_to_float,
+    bits_to_float32,
+    exact_pow2,
+    exponent,
+    float32_to_bits,
+    float_to_bits,
+    is_multiple_of,
+    same_bits,
+    ufp,
+    ulp,
+    ulp_at,
+)
+
+
+class TestExponent:
+    def test_powers_of_two(self):
+        assert exponent(1.0) == 0
+        assert exponent(2.0) == 1
+        assert exponent(0.5) == -1
+        assert exponent(-8.0) == 3
+
+    def test_within_binade(self):
+        assert exponent(1.999) == 0
+        assert exponent(3.7) == 1
+
+    def test_subnormal(self):
+        assert exponent(5e-324) == -1074
+
+    def test_rejects_zero_and_specials(self):
+        for bad in (0.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                exponent(bad)
+
+    @given(st.floats(min_value=1e-300, max_value=1e300))
+    def test_exponent_bracket_property(self, x):
+        e = exponent(x)
+        assert 2.0**e <= x < 2.0 ** (e + 1)
+
+
+class TestUfpUlp:
+    def test_ufp_examples(self):
+        assert ufp(1.5) == 1.0
+        assert ufp(1024.9) == 1024.0
+        assert ufp(-3.0) == 2.0
+
+    def test_ulp_binary64(self):
+        assert ulp(1.0) == 2.0**-52
+        assert ulp(2.0) == 2.0**-51
+
+    def test_ulp_binary32(self):
+        assert ulp(1.0, BINARY32) == 2.0**-23
+
+    def test_ulp_at(self):
+        assert ulp_at(0) == 2.0**-52
+        assert ulp_at(10, BINARY32) == 2.0**-13
+
+    def test_ulp_is_spacing(self):
+        x = 1.0
+        assert np.nextafter(x, 2.0) - x == ulp(x)
+
+    @given(st.floats(min_value=1e-200, max_value=1e200))
+    def test_value_is_multiple_of_its_ulp(self, x):
+        assert is_multiple_of(x, ulp(x))
+
+
+class TestBitPatterns:
+    def test_float64_roundtrip(self):
+        for x in (0.0, -0.0, 1.0, -1.5, 1e308, 5e-324, float("inf")):
+            assert bits_to_float(float_to_bits(x)) == x or math.isnan(x)
+
+    def test_float32_roundtrip(self):
+        for x in (0.0, 1.0, -2.5, 3.14):
+            x32 = np.float32(x)
+            assert bits_to_float32(float32_to_bits(x32)) == x32
+
+    def test_known_patterns(self):
+        assert float_to_bits(0.0) == 0
+        assert float_to_bits(-0.0) == 1 << 63
+        assert float_to_bits(1.0) == 0x3FF0000000000000
+        assert float32_to_bits(np.float32(1.0)) == 0x3F800000
+
+    def test_same_bits_distinguishes_signed_zero(self):
+        assert not same_bits(0.0, -0.0)
+        assert same_bits(0.0, 0.0)
+
+    def test_same_bits_float32(self):
+        assert same_bits(np.float32(1.5), np.float32(1.5))
+        assert not same_bits(np.float32(1.5), np.float32(1.5000001))
+
+    def test_same_bits_close_doubles_differ(self):
+        assert not same_bits(0.1 + 0.2, 0.3)
+
+
+class TestHelpers:
+    def test_exact_pow2(self):
+        assert exact_pow2(0) == 1.0
+        assert exact_pow2(-1074) == 5e-324
+        assert exact_pow2(1023) == 2.0**1023
+
+    def test_is_multiple_of(self):
+        assert is_multiple_of(1.5, 0.5)
+        assert is_multiple_of(0.0, 0.25)
+        assert not is_multiple_of(1.5, 0.4)
+        assert not is_multiple_of(1.0, 0.0)

@@ -1,0 +1,7 @@
+"""Setup shim: lets ``pip install -e . --no-use-pep517`` work on
+environments without the ``wheel`` package / network access for build
+isolation.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

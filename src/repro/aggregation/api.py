@@ -87,10 +87,26 @@ def group_sum(
         raise ValueError(f"method must be one of {_METHODS}")
     keys = np.asarray(keys)
     values = np.asarray(values)
+    if keys.ndim != 1 or values.ndim != 1:
+        raise ValueError(
+            "group_sum expects 1-D keys and values, got shapes "
+            f"{keys.shape} and {values.shape}"
+        )
+    if keys.shape != values.shape:
+        raise ValueError(
+            f"keys and values must have the same length, got {keys.size} "
+            f"keys and {values.size} values"
+        )
+    if keys.size == 0:
+        raise ValueError(
+            "group_sum requires at least one (key, value) pair; for "
+            "incrementally filled (possibly empty) aggregations use "
+            "repro.aggregation.StreamingGroupSum"
+        )
 
     if spec is None:
         if buffer_size is None and buffered and reproducible and decimal is None:
-            ngroups = max(1, np.unique(keys).size) if keys.size else 1
+            ngroups = max(1, np.unique(keys).size)
             eff_fanout = fanout ** (
                 depth
                 if depth is not None

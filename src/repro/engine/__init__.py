@@ -1,16 +1,34 @@
 """Mini column-store SQL engine (the paper's system-integration substrate).
 
 A deliberately small but real engine: SQL front end, columnar storage
-with MonetDB-style delete+append updates, vectorised operators, and a
-SUM implementation selectable per session (``ieee`` / ``repro`` /
+with MonetDB-style delete+append updates, a morsel-driven parallel
+pipeline with partial-aggregate/exact-merge GROUP BY, and a SUM
+implementation selectable per session (``ieee`` / ``repro`` /
 ``repro_buffered`` / ``sorted``) plus the explicit ``RSUM(expr, L)``
-aggregate the paper proposes in Section V-D.
+aggregate the paper proposes in Section V-D.  In the repro modes the
+result bits are invariant under the ``workers`` and ``morsel_size``
+execution knobs; in IEEE mode they may drift.
 """
 
 from .catalog import Catalog
 from .executor import QueryResult, execute_select
 from .expr import ExprError, evaluate, expression_columns, find_aggregates
-from .operators import Batch, GroupByOp, OperatorTimings, SumConfig, grouped_float_sum
+from .operators import (
+    AggregateSpec,
+    Batch,
+    GroupByOp,
+    OperatorTimings,
+    PartialGroupTable,
+    SumConfig,
+    grouped_float_sum,
+)
+from .pipeline import (
+    DEFAULT_MORSEL_SIZE,
+    ExecutionContext,
+    PipelineStats,
+    run_grouped_pipeline,
+    run_projection_pipeline,
+)
 from .session import Database
 from .sql import SqlLexError, SqlParseError, parse, parse_expression, tokenize
 from .table import Column, Schema, Table
@@ -34,6 +52,13 @@ from .types import (
 __all__ = [
     "Database",
     "Catalog",
+    "ExecutionContext",
+    "PipelineStats",
+    "DEFAULT_MORSEL_SIZE",
+    "AggregateSpec",
+    "PartialGroupTable",
+    "run_grouped_pipeline",
+    "run_projection_pipeline",
     "Table",
     "Schema",
     "Column",

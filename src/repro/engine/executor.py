@@ -1,4 +1,11 @@
-"""Query executor: binds a SELECT AST to the catalog and runs it."""
+"""Query executor: binds a SELECT AST to the catalog and runs it.
+
+Execution is delegated to the morsel-driven pipeline
+(:mod:`repro.engine.pipeline`): the table is scanned as columnar
+morsels, filtered and projected/aggregated per worker, and worker
+partials are merged exactly.  This module keeps the query-shape logic:
+output naming, HAVING, ORDER BY, LIMIT, and result typing.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +15,11 @@ import numpy as np
 
 from .expr import ExprError, evaluate, find_aggregates
 from .operators import Batch, GroupByOp, OperatorTimings, SumConfig
+from .pipeline import (
+    ExecutionContext,
+    run_grouped_pipeline,
+    run_projection_pipeline,
+)
 from .sql import ast
 from .table import Table
 from .types import SqlType
@@ -63,31 +75,28 @@ def execute_select(
     get_table,
     sum_config: SumConfig,
     timings: OperatorTimings | None = None,
+    context: ExecutionContext | None = None,
 ) -> QueryResult:
     """Run a SELECT against the catalog accessor ``get_table``."""
 
-    # --- scan -------------------------------------------------------------
+    if context is None:
+        context = ExecutionContext()
+
+    # --- scan: materialise the morsel list (column views) -----------------
     started = time.perf_counter()
     if stmt.table is not None:
         table: Table = get_table(stmt.table)
-        columns = table.scan()
         types = {name: table.schema.type_of(name) for name in table.schema.names()}
-        batch = Batch(columns, types)
+        morsels = [
+            Batch(chunk, types) for chunk in table.morsels(context.morsel_size)
+        ]
     else:
+        types = {}
         batch = Batch({}, {})
         batch.nrows = 1  # SELECT 1 + 1
+        morsels = [batch]
     if timings is not None:
         timings.add("scan", time.perf_counter() - started)
-
-    # --- where --------------------------------------------------------------
-    if stmt.where is not None:
-        started = time.perf_counter()
-        mask = np.asarray(evaluate(stmt.where, batch.columns, batch.types))
-        if mask.shape == ():
-            mask = np.full(batch.nrows, bool(mask))
-        batch = batch.filter(mask.astype(bool))
-        if timings is not None:
-            timings.add("selection", time.perf_counter() - started)
 
     # --- aggregate or plain projection --------------------------------------
     aggregates: list[ast.FuncCall] = []
@@ -98,20 +107,24 @@ def execute_select(
     grouped = bool(stmt.group_by) or bool(aggregates)
 
     if grouped:
-        names, arrays = _execute_grouped(stmt, batch, aggregates, sum_config, timings)
+        names, arrays = _execute_grouped(
+            stmt, morsels, types, aggregates, sum_config, context, timings
+        )
     else:
-        names, arrays = _execute_projection(stmt, batch)
+        names, arrays = run_projection_pipeline(
+            stmt.items, morsels, stmt.where, context, timings
+        )
 
     out_types: list[SqlType | None] = [None] * len(names)
     if stmt.table is not None and not grouped:
         # Pass through source types for plain column projections.
         for i, item in enumerate(stmt.items):
             if isinstance(item.expr, ast.ColumnRef):
-                out_types[i] = batch.types.get(item.expr.name.lower())
+                out_types[i] = types.get(item.expr.name.lower())
     if grouped and stmt.group_by:
         for i, item in enumerate(stmt.items):
             if isinstance(item.expr, ast.ColumnRef):
-                out_types[i] = batch.types.get(item.expr.name.lower())
+                out_types[i] = types.get(item.expr.name.lower())
 
     # --- order by -------------------------------------------------------------
     if stmt.order_by and arrays and len(arrays[0]):
@@ -158,27 +171,15 @@ def _order_key(order_item: ast.OrderItem, stmt: ast.Select, env: dict):
     return arr
 
 
-def _execute_projection(stmt: ast.Select, batch: Batch):
-    names, arrays = [], []
-    for i, item in enumerate(stmt.items):
-        if isinstance(item.expr, ast.Star):
-            for name, arr in batch.columns.items():
-                names.append(name)
-                arrays.append(arr)
-            continue
-        value = evaluate(item.expr, batch.columns, batch.types)
-        arr = np.asarray(value)
-        if arr.shape == ():
-            arr = np.full(batch.nrows, value)
-        names.append(item.output_name(i))
-        arrays.append(arr)
-    return names, arrays
-
-
-def _execute_grouped(stmt: ast.Select, batch: Batch, aggregates,
-                     sum_config: SumConfig, timings):
+def _execute_grouped(stmt: ast.Select, morsels: list[Batch], types,
+                     aggregates, sum_config: SumConfig,
+                     context: ExecutionContext, timings):
     group_op = GroupByOp(stmt.group_by, aggregates, sum_config, timings)
-    key_arrays, agg_env, ngroups = group_op.execute(batch)
+    specs = group_op.specs()
+    key_arrays, results, ngroups = run_grouped_pipeline(
+        stmt.group_by, specs, morsels, stmt.where, context, timings
+    )
+    agg_env = {spec.sql: arr for spec, arr in zip(specs, results)}
 
     # Environment for select items / HAVING: group-key expressions by
     # their SQL text, aggregates via agg_env.
@@ -198,7 +199,7 @@ def _execute_grouped(stmt: ast.Select, batch: Batch, aggregates,
             return key_env[expr.name.lower()]
         # Expression over aggregates and/or group keys.
         env = dict(key_env)
-        value = evaluate(expr, env, batch.types, agg_env)
+        value = evaluate(expr, env, types, agg_env)
         arr = np.asarray(value)
         if arr.shape == ():
             arr = np.full(ngroups, value)

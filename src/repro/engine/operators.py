@@ -1,17 +1,26 @@
 """Physical operators for the mini engine.
 
-Vector-at-a-time execution over whole-column batches (the MonetDB
-style).  The interesting operator is :class:`GroupByOp`, which hosts
-the paper's SUM implementations side by side:
+Execution is morsel-driven (see :mod:`repro.engine.pipeline`): every
+aggregate is expressed as *partial state + exact merge + finalize*, so
+the same operator code serves whole-batch serial execution and the
+parallel pipeline.  The interesting machinery is the SUM family, which
+hosts the paper's implementations side by side:
 
 * ``sum_mode="ieee"`` — conventional accumulation in physical row
-  order (non-reproducible; what stock engines do);
+  order (non-reproducible; what stock engines do).  Its partial states
+  are plain float sums, so the result *may* drift with the morsel
+  size / worker count — exactly the effect the paper describes;
 * ``sum_mode="repro"`` / ``"repro_buffered"`` — the reproducible
-  aggregation of Sections IV/V (bit-identical results; the buffered
-  mode differs only in cost, which the simulator models);
-* ``sum_mode="sorted"`` — sort the (group, value-bits) pairs first,
-  the only conventional way to force reproducibility (Table IV's
-  7x-slower baseline).
+  aggregation of Sections IV/V.  Partial states are
+  :class:`~repro.aggregation.grouped.GroupedSummation` tables whose
+  merge is *exact*, so the result bits are identical for every input
+  permutation, chunking, and parallel split (the buffered mode differs
+  only in cost, which the simulator models);
+* ``sum_mode="sorted"`` — the only conventional way to force
+  reproducibility (Table IV's 7x-slower baseline).  Partial states
+  buffer the raw (group, value) pairs; finalize sorts them by
+  (group, value-bits) and sums, which is split-independent because the
+  final sort canonicalises any partitioning of the input.
 
 ``RSUM(expr [, L])`` is the paper's proposed "alternate aggregate
 function ... which would give the user control on the desired
@@ -27,11 +36,19 @@ import numpy as np
 
 from ..core.params import RsumParams
 from ..fp.formats import BINARY32, BINARY64
-from .expr import ExprError, evaluate, find_aggregates
+from .expr import ExprError, evaluate
 from .sql import ast
 from .types import DecimalSqlType, SqlType
 
-__all__ = ["Batch", "GroupByOp", "SumConfig", "OperatorTimings"]
+__all__ = [
+    "Batch",
+    "GroupByOp",
+    "SumConfig",
+    "OperatorTimings",
+    "AggregateSpec",
+    "PartialGroupTable",
+    "grouped_float_sum",
+]
 
 
 class Batch:
@@ -52,7 +69,15 @@ class Batch:
 
 
 class OperatorTimings:
-    """Wall-clock CPU time per operator class (Table IV's breakdown)."""
+    """CPU time per operator class (Table IV's breakdown).
+
+    In a parallel session the pipeline reports ``selection`` and
+    ``aggregation`` as per-thread CPU time *summed across workers*, so
+    with ``workers > 1`` they can exceed the query's wall-clock; use
+    :class:`~repro.engine.pipeline.PipelineStats` for wall-clock /
+    critical-path accounting.  With the default ``workers=1`` the two
+    views coincide.
+    """
 
     def __init__(self):
         self.seconds: dict[str, float] = {}
@@ -78,8 +103,535 @@ class SumConfig:
         self.buffer_size = buffer_size
 
 
+# ---------------------------------------------------------------------------
+# Partial aggregate states
+#
+# Each state supports:
+#   update(batch, gids, ngroups)      -- consume one morsel (local gids)
+#   merge(other, mapping, ngroups)    -- fold a worker-local partial in;
+#                                        mapping[g] is the target group of
+#                                        other's local group g (injective)
+#   finalize(ngroups) -> np.ndarray   -- per-group results, table gid order
+#
+# For the repro modes, update/merge are *exact* (integer-canonical
+# SummationState arithmetic via GroupedSummation), which is what makes
+# the parallel GROUP BY bit-reproducible.
+# ---------------------------------------------------------------------------
+
+
+def _grown(arr: np.ndarray, n: int) -> np.ndarray:
+    """Zero-extend a per-group array to ``n`` groups."""
+    if len(arr) >= n:
+        return arr
+    out = np.zeros(n, dtype=arr.dtype)
+    out[: len(arr)] = arr
+    return out
+
+
+def _eval_values(arg: ast.Expr, batch: Batch) -> np.ndarray:
+    values = np.asarray(evaluate(arg, batch.columns, batch.types))
+    if values.shape == ():
+        values = np.full(batch.nrows, values)
+    return values
+
+
+class _CountState:
+    def __init__(self):
+        self.counts = np.zeros(0, dtype=np.int64)
+
+    def update(self, batch: Batch, gids: np.ndarray, ngroups: int) -> None:
+        self.counts = _grown(self.counts, ngroups)
+        if gids.size:
+            self.counts += np.bincount(gids, minlength=ngroups)
+
+    def merge(self, other: "_CountState", mapping, ngroups: int) -> None:
+        self.counts = _grown(self.counts, ngroups)
+        theirs = _grown(other.counts, len(mapping))
+        np.add.at(self.counts, mapping, theirs)
+
+    def finalize(self, ngroups: int) -> np.ndarray:
+        return _grown(self.counts, ngroups)
+
+
+class _PlainSumImpl:
+    """Accumulator-array sums: exact for int64 (INT/BOOL columns and
+    unscaled DECIMAL storage, with the scale applied at finalize); for
+    float dtypes this is the conventional IEEE mode — merge order is
+    deterministic but the result depends on how the input was split
+    (non-reproducible)."""
+
+    def __init__(self, dtype, scale: int | None = None):
+        self.scale = scale
+        self.sums = np.zeros(0, dtype=dtype)
+
+    def empty_like(self):
+        return _PlainSumImpl(self.sums.dtype, self.scale)
+
+    def update(self, values, gids, ngroups):
+        self.sums = _grown(self.sums, ngroups)
+        if gids.size:
+            np.add.at(self.sums, gids, values)
+
+    def merge(self, other, mapping, ngroups):
+        self.sums = _grown(self.sums, ngroups)
+        np.add.at(self.sums, mapping, _grown(other.sums, len(mapping)))
+
+    def finalize(self, ngroups):
+        sums = _grown(self.sums, ngroups)
+        if self.scale is not None:
+            return sums.astype(np.float64) / 10.0**self.scale
+        return sums
+
+
+class _ReproSumImpl:
+    """Reproducible sums: GroupedSummation states with exact merge."""
+
+    def __init__(self, dtype, levels: int):
+        from ..aggregation.grouped import GroupedSummation
+
+        self._dtype = dtype
+        self._levels = levels
+        fmt = BINARY32 if dtype == np.float32 else BINARY64
+        self.params = RsumParams(fmt, levels)
+        self.grouped = GroupedSummation(self.params, 0)
+        self._fmt_dtype = fmt.dtype
+
+    def empty_like(self):
+        return _ReproSumImpl(self._dtype, self._levels)
+
+    def update(self, values, gids, ngroups):
+        if self.grouped.ngroups < ngroups:
+            self.grouped.resize(ngroups)
+        if gids.size:
+            self.grouped.add_pairs(gids, values.astype(self._fmt_dtype))
+
+    def merge(self, other, mapping, ngroups):
+        if self.grouped.ngroups < ngroups:
+            self.grouped.resize(ngroups)
+        if other.grouped.ngroups < len(mapping):
+            other.grouped.resize(len(mapping))
+        self.grouped.merge(other.grouped, np.asarray(mapping, dtype=np.int64))
+
+    def finalize(self, ngroups):
+        if self.grouped.ngroups < ngroups:
+            self.grouped.resize(ngroups)
+        return self.grouped.finalize()
+
+
+class _SortedSumImpl:
+    """Sort-based reproducible sums.
+
+    Partials buffer the raw (gid, value) pairs; finalize sorts all pairs
+    by (group, value-bits) and accumulates.  Because the final sort
+    canonicalises the pair order, the result bits are independent of how
+    the input was split across morsels and workers.
+    """
+
+    def __init__(self, dtype):
+        self.dtype = np.dtype(dtype)
+        self.chunks: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def empty_like(self):
+        return _SortedSumImpl(self.dtype)
+
+    def update(self, values, gids, ngroups):
+        if gids.size:
+            self.chunks.append((gids, values))
+
+    def merge(self, other, mapping, ngroups):
+        for gids, values in other.chunks:
+            self.chunks.append((np.asarray(mapping)[gids], values))
+
+    def finalize(self, ngroups):
+        if not self.chunks:
+            return np.zeros(ngroups, dtype=self.dtype)
+        gids = np.concatenate([g for g, _ in self.chunks])
+        values = np.concatenate([v for _, v in self.chunks])
+        bits = values.view(
+            np.uint32 if values.dtype == np.float32 else np.uint64
+        )
+        order = np.lexsort((bits, gids))
+        out = np.zeros(ngroups, dtype=values.dtype)
+        np.add.at(out, gids[order], values[order])
+        return out
+
+
+def _make_float_sum_impl(dtype, mode: str, levels: int):
+    if mode == "ieee":
+        return _PlainSumImpl(dtype)
+    if mode in ("repro", "repro_buffered"):
+        return _ReproSumImpl(dtype, levels)
+    if mode == "sorted":
+        return _SortedSumImpl(dtype)
+    raise ValueError(f"unknown sum mode {mode!r}")
+
+
+class _SumState:
+    """SUM/RSUM over one expression; the concrete impl (exact integer,
+    ieee, repro, or sorted) is chosen from the input type on the first
+    morsel, mirroring the pre-pipeline dispatch."""
+
+    def __init__(self, arg: ast.Expr, mode: str, levels: int):
+        self.arg = arg
+        self.mode = mode
+        self.levels = levels
+        self.impl = None
+
+    def _values(self, batch: Batch):
+        """Returns (values, kind, decimal_scale) for one morsel."""
+        if isinstance(self.arg, ast.ColumnRef):
+            sql_type = batch.types.get(self.arg.name.lower())
+            if isinstance(sql_type, DecimalSqlType):
+                # Exact integer path: SUM over a bare DECIMAL column.
+                return (
+                    batch.columns[self.arg.name.lower()],
+                    "decimal",
+                    sql_type.scale,
+                )
+        values = _eval_values(self.arg, batch)
+        if values.dtype.kind in "iub":
+            return values, "int", None
+        return values, "float", None
+
+    def _make_impl(self, kind: str, scale, dtype):
+        if kind in ("decimal", "int"):
+            return _PlainSumImpl(np.int64, scale)
+        return _make_float_sum_impl(dtype, self.mode, self.levels)
+
+    def update(self, batch: Batch, gids: np.ndarray, ngroups: int) -> None:
+        values, kind, scale = self._values(batch)
+        if self.impl is None:
+            self.impl = self._make_impl(kind, scale, values.dtype)
+        self.impl.update(values, gids, ngroups)
+
+    def merge(self, other: "_SumState", mapping, ngroups: int) -> None:
+        if other.impl is None:
+            return
+        if self.impl is None:
+            self.impl = other.impl.empty_like()
+        self.impl.merge(other.impl, mapping, ngroups)
+
+    def finalize(self, ngroups: int) -> np.ndarray:
+        if self.impl is None:
+            return np.zeros(ngroups, dtype=np.float64)
+        return self.impl.finalize(ngroups)
+
+
+class _MinMaxState:
+    def __init__(self, arg: ast.Expr, is_min: bool):
+        self.arg = arg
+        self.name = "MIN" if is_min else "MAX"
+        self.ufunc = np.minimum if is_min else np.maximum
+        self.extremes: np.ndarray | None = None
+        self.seen = np.zeros(0, dtype=bool)
+
+    def _grow(self, ngroups: int, dtype) -> None:
+        if self.extremes is None:
+            self.extremes = np.empty(0, dtype=dtype)
+        if len(self.extremes) < ngroups:
+            pad = np.empty(ngroups - len(self.extremes), dtype=self.extremes.dtype)
+            self.extremes = np.concatenate([self.extremes, pad])
+            grown_seen = np.zeros(ngroups, dtype=bool)
+            grown_seen[: len(self.seen)] = self.seen
+            self.seen = grown_seen
+
+    def _combine(self, idx: np.ndarray, ext: np.ndarray) -> None:
+        known = self.seen[idx]
+        fresh = idx[~known]
+        self.extremes[fresh] = ext[~known]
+        self.seen[fresh] = True
+        old = idx[known]
+        if old.size:
+            self.extremes[old] = self.ufunc(self.extremes[old], ext[known])
+
+    def update(self, batch: Batch, gids: np.ndarray, ngroups: int) -> None:
+        values = _eval_values(self.arg, batch)
+        self._grow(ngroups, values.dtype)
+        if gids.size == 0:
+            return
+        order = np.argsort(gids, kind="stable")
+        sorted_gids = gids[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_gids[1:] != sorted_gids[:-1]))
+        )
+        self._combine(sorted_gids[starts], self.ufunc.reduceat(values[order], starts))
+
+    def merge(self, other: "_MinMaxState", mapping, ngroups: int) -> None:
+        if other.extremes is None:
+            return
+        self._grow(ngroups, other.extremes.dtype)
+        src = np.flatnonzero(other.seen)
+        if src.size:
+            self._combine(np.asarray(mapping)[src], other.extremes[src])
+
+    def finalize(self, ngroups: int) -> np.ndarray:
+        if (self.extremes is None or len(self.extremes) < ngroups
+                or not self.seen[:ngroups].all()):
+            raise ExprError(f"{self.name} over empty input")
+        return self.extremes[:ngroups]
+
+
+class _AvgState:
+    def __init__(self, arg: ast.Expr, mode: str, levels: int):
+        self.sum = _SumState(arg, mode, levels)
+        self.count = _CountState()
+
+    def update(self, batch, gids, ngroups):
+        self.sum.update(batch, gids, ngroups)
+        self.count.update(batch, gids, ngroups)
+
+    def merge(self, other, mapping, ngroups):
+        self.sum.merge(other.sum, mapping, ngroups)
+        self.count.merge(other.count, mapping, ngroups)
+
+    def finalize(self, ngroups):
+        sums = self.sum.finalize(ngroups)
+        counts = self.count.finalize(ngroups)
+        return sums / np.maximum(counts, 1)
+
+
+class _VarState:
+    """VARIANCE/STDDEV from SUM(x) and SUM(x*x) — the paper's footnote-2
+    recipe: with a reproducible SUM these become reproducible too.
+    x*x is an element-wise (order-free) operation."""
+
+    def __init__(self, name: str, arg: ast.Expr, mode: str, levels: int):
+        self.name = name
+        self.arg = arg
+        self.sum_x = _make_float_sum_impl(np.float64, mode, levels)
+        self.sum_xx = _make_float_sum_impl(np.float64, mode, levels)
+        self.count = _CountState()
+
+    def update(self, batch, gids, ngroups):
+        values = np.asarray(_eval_values(self.arg, batch), dtype=np.float64)
+        self.sum_x.update(values, gids, ngroups)
+        self.sum_xx.update(values * values, gids, ngroups)
+        self.count.update(batch, gids, ngroups)
+
+    def merge(self, other, mapping, ngroups):
+        self.sum_x.merge(other.sum_x, mapping, ngroups)
+        self.sum_xx.merge(other.sum_xx, mapping, ngroups)
+        self.count.merge(other.count, mapping, ngroups)
+
+    def finalize(self, ngroups):
+        sums = self.sum_x.finalize(ngroups)
+        squares = self.sum_xx.finalize(ngroups)
+        counts = self.count.finalize(ngroups).astype(np.float64)
+        ddof = 0.0 if self.name.endswith("_POP") else 1.0
+        denominator = np.maximum(counts - ddof, 1.0)
+        variance = squares - sums * sums / np.maximum(counts, 1.0)
+        variance = np.maximum(variance, 0.0) / denominator
+        if self.name.startswith("STDDEV"):
+            return np.sqrt(variance)
+        return variance
+
+
+_VAR_NAMES = ("VARIANCE", "VAR_SAMP", "VAR_POP", "STDDEV", "STDDEV_SAMP",
+              "STDDEV_POP")
+
+#: Dict stand-in for NaN group keys: ``nan != nan``, so a raw NaN can
+#: never be found again in the key table; ``np.unique`` collapses NaNs
+#: within a morsel and the key dict must do the same across morsels.
+_NAN_KEY = object()
+
+
+def _key_identity(key: tuple) -> tuple:
+    """Hash/equality form of a key tuple: NaN -> sentinel, -0.0 -> 0.0."""
+    out = []
+    for value in key:
+        if isinstance(value, (float, np.floating)):
+            if value != value:  # NaN
+                out.append(_NAN_KEY)
+                continue
+            if value == 0.0:
+                value = type(value)(0.0)
+        out.append(value)
+    return tuple(out)
+
+
+class AggregateSpec:
+    """Resolved plan for one aggregate call: validates the call once and
+    manufactures fresh partial states for each worker."""
+
+    def __init__(self, call: ast.FuncCall, sum_config: SumConfig):
+        self.call = call
+        self.sql = call.sql()
+        self.sum_config = sum_config
+        name = call.name
+        if name != "COUNT" and not call.args:
+            raise ExprError(f"{name} requires an argument")
+        if name == "RSUM":
+            self.levels = sum_config.levels
+            if len(call.args) > 1:
+                lv = call.args[1]
+                if not isinstance(lv, ast.Literal) or not isinstance(lv.value, int):
+                    raise ExprError("RSUM level argument must be an integer literal")
+                self.levels = lv.value
+        else:
+            self.levels = sum_config.levels
+        if name not in ("COUNT", "SUM", "RSUM", "AVG", "MIN", "MAX") + _VAR_NAMES:
+            raise ExprError(f"unknown aggregate {name!r}")
+
+    def make_state(self):
+        name = self.call.name
+        mode = self.sum_config.mode
+        if name == "COUNT":
+            return _CountState()
+        arg = self.call.args[0]
+        if name == "SUM":
+            return _SumState(arg, mode, self.levels)
+        if name == "RSUM":
+            # Reproducible regardless of the session sum mode.
+            return _SumState(arg, "repro", self.levels)
+        if name == "AVG":
+            return _AvgState(arg, mode, self.levels)
+        if name == "MIN":
+            return _MinMaxState(arg, is_min=True)
+        if name == "MAX":
+            return _MinMaxState(arg, is_min=False)
+        return _VarState(name, arg, mode, self.levels)
+
+
+class PartialGroupTable:
+    """Worker-local GROUP BY state: a key table plus one partial state
+    per aggregate.
+
+    This is the engine-layer sibling of
+    :class:`~repro.aggregation.streaming.StreamingGroupSum`, generalised
+    to composite keys and arbitrary aggregate lists.  Keys are assigned
+    dense gids in first-arrival order; :meth:`merge` folds another
+    worker's table in through an injective gid mapping, and
+    :meth:`finalize` emits groups in canonical (sorted-key) order so the
+    output is independent of arrival order.
+    """
+
+    def __init__(self, group_exprs, specs: list[AggregateSpec]):
+        self.group_exprs = tuple(group_exprs)
+        self.specs = specs
+        self.states = [spec.make_state() for spec in specs]
+        self._key_to_gid: dict = {}
+        self._keys: list[tuple] = []
+        self._key_dtypes: list | None = None
+        if not self.group_exprs:
+            # Aggregation without grouping: one global group, always
+            # present (so zero-row inputs still produce one output row).
+            self._key_to_gid[()] = 0
+            self._keys.append(())
+
+    @property
+    def ngroups(self) -> int:
+        return len(self._keys)
+
+    # -- morsel consumption ------------------------------------------------
+    def update(self, batch: Batch) -> None:
+        gids = self._factorize(batch)
+        ngroups = self.ngroups
+        for state in self.states:
+            state.update(batch, gids, ngroups)
+
+    def _factorize(self, batch: Batch) -> np.ndarray:
+        """Composite morsel keys -> table gids, registering new keys."""
+        if not self.group_exprs:
+            return np.zeros(batch.nrows, dtype=np.int64)
+        inverses = []
+        uniques = []
+        for expr in self.group_exprs:
+            arr = np.asarray(evaluate(expr, batch.columns, batch.types))
+            if arr.shape == ():
+                arr = np.full(batch.nrows, arr)
+            uniq, inverse = np.unique(arr, return_inverse=True)
+            inverses.append(inverse.astype(np.int64))
+            uniques.append(uniq)
+        if self._key_dtypes is None:
+            self._key_dtypes = [uniq.dtype for uniq in uniques]
+        combined = inverses[0]
+        for inv, uniq in zip(inverses[1:], uniques[1:]):
+            combined = combined * len(uniq) + inv
+        dense_uniq, morsel_gids = np.unique(combined, return_inverse=True)
+        # Decode the composite codes back into per-key distinct values.
+        key_cols = []
+        radix = dense_uniq
+        for uniq in reversed(uniques[1:]):
+            key_cols.append(uniq[radix % len(uniq)])
+            radix = radix // len(uniq)
+        key_cols.append(uniques[0][radix])
+        key_cols.reverse()
+        lut = np.empty(len(dense_uniq), dtype=np.int64)
+        for j in range(len(dense_uniq)):
+            key = tuple(col[j] for col in key_cols)
+            lut[j] = self._register(key)
+        return lut[morsel_gids.astype(np.int64)]
+
+    def _register(self, key: tuple) -> int:
+        ident = _key_identity(key)
+        gid = self._key_to_gid.get(ident)
+        if gid is None:
+            gid = len(self._keys)
+            self._key_to_gid[ident] = gid
+            # Stored representative: identity form with the NaN value
+            # restored, so output keys are split-independent too.
+            self._keys.append(tuple(
+                orig if member is _NAN_KEY else member
+                for orig, member in zip(key, ident)
+            ))
+        return gid
+
+    # -- exact merge -------------------------------------------------------
+    def merge(self, other: "PartialGroupTable") -> None:
+        """Fold a worker-local table in (exact for repro aggregates)."""
+        if self._key_dtypes is None:
+            self._key_dtypes = other._key_dtypes
+        mapping = np.empty(other.ngroups, dtype=np.int64)
+        for g, key in enumerate(other._keys):
+            mapping[g] = self._register(key)
+        ngroups = self.ngroups
+        for state, other_state in zip(self.states, other.states):
+            state.merge(other_state, mapping, ngroups)
+
+    # -- finalisation ------------------------------------------------------
+    def _canonical_order(self) -> np.ndarray | None:
+        """Permutation putting groups in sorted-key order (the order the
+        whole-batch ``np.unique`` factorisation produced pre-pipeline)."""
+        if not self.group_exprs or self.ngroups <= 1:
+            return None
+        codes = []
+        for i in range(len(self.group_exprs)):
+            col = self._key_column(i)
+            codes.append(np.unique(col, return_inverse=True)[1])
+        return np.lexsort(tuple(reversed(codes)))
+
+    def _key_column(self, i: int) -> np.ndarray:
+        dtype = self._key_dtypes[i] if self._key_dtypes else object
+        col = np.empty(self.ngroups, dtype=dtype)
+        for g, key in enumerate(self._keys):
+            col[g] = key[i]
+        return col
+
+    def finalize(self):
+        """Returns (key_arrays, result_arrays, ngroups), canonical order."""
+        ngroups = self.ngroups
+        order = self._canonical_order()
+        key_arrays = []
+        if self.group_exprs:
+            for i in range(len(self.group_exprs)):
+                col = self._key_column(i)
+                key_arrays.append(col if order is None else col[order])
+        results = []
+        for state in self.states:
+            arr = state.finalize(ngroups)
+            results.append(arr if order is None else arr[order])
+        return key_arrays, results, ngroups
+
+
 class GroupByOp:
-    """Hash GROUP BY with pluggable aggregate functions."""
+    """Hash GROUP BY with pluggable partial-aggregate functions.
+
+    Whole-batch execution is the one-morsel special case of the
+    pipeline: build one :class:`PartialGroupTable`, feed it the batch,
+    finalize.  For the repro sum modes the result bits are therefore
+    identical whether a query runs here or through the parallel
+    pipeline — that is the paper's exact-merge property.
+    """
 
     def __init__(self, group_exprs, agg_items, sum_config: SumConfig,
                  timings: OperatorTimings | None = None):
@@ -88,130 +640,31 @@ class GroupByOp:
         self.sum_config = sum_config
         self.timings = timings
 
-    # -- group key factorisation -----------------------------------------
-    def _factorize(self, batch: Batch):
-        """Composite group keys -> dense gids + per-key distinct values."""
-        if not self.group_exprs:
-            # Aggregation without grouping: one global group.
-            return np.zeros(batch.nrows, dtype=np.int64), 1, []
-        inverses = []
-        uniques = []
-        for expr in self.group_exprs:
-            arr = evaluate(expr, batch.columns, batch.types)
-            arr = np.asarray(arr)
-            if arr.shape == ():
-                arr = np.full(batch.nrows, arr)
-            uniq, inverse = np.unique(arr, return_inverse=True)
-            inverses.append(inverse.astype(np.int64))
-            uniques.append(uniq)
-        combined = inverses[0]
-        for inv, uniq in zip(inverses[1:], uniques[1:]):
-            combined = combined * len(uniq) + inv
-        dense_uniq, gids = np.unique(combined, return_inverse=True)
-        # Decode the composite back into per-key distinct columns.
-        keys = []
-        radix = dense_uniq
-        for uniq in reversed(uniques[1:]):
-            keys.append(uniq[radix % len(uniq)])
-            radix = radix // len(uniq)
-        keys.append(uniques[0][radix])
-        keys.reverse()
-        return gids.astype(np.int64), len(dense_uniq), keys
+    def specs(self) -> list[AggregateSpec]:
+        """One spec per distinct aggregate (deduped by SQL text)."""
+        seen: dict[str, AggregateSpec] = {}
+        for call in self.agg_items:
+            key = call.sql()
+            if key not in seen:
+                seen[key] = AggregateSpec(call, self.sum_config)
+        return list(seen.values())
 
-    # -- aggregate computation ----------------------------------------------
     def execute(self, batch: Batch):
         """Returns (key_arrays, agg_env, ngroups).
 
         ``agg_env`` maps each aggregate's canonical SQL text to its
         per-group result array, ready for select items and HAVING.
         """
-        gids, ngroups, key_arrays = self._factorize(batch)
-        agg_env: dict[str, np.ndarray] = {}
-        for call in self.agg_items:
-            key = call.sql()
-            if key in agg_env:
-                continue
-            agg_env[key] = self._compute(call, batch, gids, ngroups)
-        return key_arrays, agg_env, ngroups
-
-    def _compute(self, call: ast.FuncCall, batch: Batch, gids, ngroups):
-        name = call.name
-        if name == "COUNT":
-            return np.bincount(gids, minlength=ngroups).astype(np.int64)
-        if not call.args:
-            raise ExprError(f"{name} requires an argument")
-        arg = call.args[0]
-
-        if name in ("MIN", "MAX"):
-            values = np.asarray(evaluate(arg, batch.columns, batch.types))
-            ufunc = np.minimum if name == "MIN" else np.maximum
-            order = np.argsort(gids, kind="stable")
-            sorted_gids = gids[order]
-            starts = np.flatnonzero(
-                np.concatenate(([True], sorted_gids[1:] != sorted_gids[:-1]))
-            )
-            return ufunc.reduceat(values[order], starts)
-
-        if name == "AVG":
-            sums = self._sum(arg, batch, gids, ngroups, self.sum_config.mode,
-                             self.sum_config.levels)
-            counts = np.bincount(gids, minlength=ngroups)
-            return sums / np.maximum(counts, 1)
-
-        if name in ("VARIANCE", "VAR_SAMP", "VAR_POP", "STDDEV",
-                    "STDDEV_SAMP", "STDDEV_POP"):
-            # Computed from SUM(x) and SUM(x*x) — the paper's footnote-2
-            # recipe: with a reproducible SUM these become reproducible
-            # too.  x*x is an element-wise (order-free) operation.
-            values = np.asarray(
-                evaluate(arg, batch.columns, batch.types), dtype=np.float64
-            )
-            mode, levels = self.sum_config.mode, self.sum_config.levels
-            sums = grouped_float_sum(values, gids, ngroups, mode, levels)
-            squares = grouped_float_sum(values * values, gids, ngroups,
-                                        mode, levels)
-            counts = np.bincount(gids, minlength=ngroups).astype(np.float64)
-            ddof = 0.0 if name.endswith("_POP") else 1.0
-            denominator = np.maximum(counts - ddof, 1.0)
-            variance = (squares - sums * sums / np.maximum(counts, 1.0))
-            variance = np.maximum(variance, 0.0) / denominator
-            if name.startswith("STDDEV"):
-                return np.sqrt(variance)
-            return variance
-
-        if name == "SUM":
-            return self._sum(arg, batch, gids, ngroups, self.sum_config.mode,
-                             self.sum_config.levels)
-        if name == "RSUM":
-            levels = self.sum_config.levels
-            if len(call.args) > 1:
-                lv = call.args[1]
-                if not isinstance(lv, ast.Literal) or not isinstance(lv.value, int):
-                    raise ExprError("RSUM level argument must be an integer literal")
-                levels = lv.value
-            return self._sum(arg, batch, gids, ngroups, "repro", levels)
-        raise ExprError(f"unknown aggregate {name!r}")
-
-    def _sum(self, arg: ast.Expr, batch: Batch, gids, ngroups,
-             mode: str, levels: int):
         started = time.perf_counter()
         try:
-            # Exact integer path: SUM over a bare DECIMAL/INT column.
-            if isinstance(arg, ast.ColumnRef):
-                sql_type = batch.types.get(arg.name.lower())
-                if isinstance(sql_type, DecimalSqlType):
-                    unscaled = batch.columns[arg.name.lower()]
-                    sums = np.zeros(ngroups, dtype=np.int64)
-                    np.add.at(sums, gids, unscaled)
-                    return sums.astype(np.float64) / 10.0**sql_type.scale
-            values = np.asarray(evaluate(arg, batch.columns, batch.types))
-            if values.shape == ():
-                values = np.full(len(gids), values)
-            if values.dtype.kind in "iub":
-                sums = np.zeros(ngroups, dtype=np.int64)
-                np.add.at(sums, gids, values)
-                return sums
-            return grouped_float_sum(values, gids, ngroups, mode, levels)
+            specs = self.specs()
+            table = PartialGroupTable(self.group_exprs, specs)
+            table.update(batch)
+            key_arrays, results, ngroups = table.finalize()
+            agg_env = {
+                spec.sql: arr for spec, arr in zip(specs, results)
+            }
+            return key_arrays, agg_env, ngroups
         finally:
             if self.timings is not None:
                 self.timings.add("aggregation", time.perf_counter() - started)
@@ -219,7 +672,12 @@ class GroupByOp:
 
 def grouped_float_sum(values: np.ndarray, gids: np.ndarray, ngroups: int,
                       mode: str, levels: int = 2) -> np.ndarray:
-    """The four SUM implementations on float columns (see module docs)."""
+    """The four SUM implementations as one-shot whole-column kernels.
+
+    This is the pre-pipeline serial path, kept as the reference oracle:
+    for the repro modes the partial-state pipeline must reproduce these
+    bits exactly, for any (workers, morsel_size) split.
+    """
     if mode == "ieee":
         out = np.zeros(ngroups, dtype=values.dtype)
         np.add.at(out, gids, values)

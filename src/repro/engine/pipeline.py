@@ -1,0 +1,275 @@
+"""Morsel-driven parallel query pipeline.
+
+The engine executes SELECTs as a streaming pipeline over *morsels* —
+columnar chunks of at most :data:`ExecutionContext.morsel_size` rows:
+
+    morsel scan -> filter -> project / partial-aggregate (per worker)
+                -> exact merge -> finalize
+
+Morsels are pre-assigned to workers round-robin by morsel index, and
+worker partials are merged in worker order.  That makes the plan fully
+deterministic for a given ``(workers, morsel_size)`` — and, because the
+repro aggregate states merge *exactly*
+(:class:`~repro.aggregation.grouped.GroupedSummation` /
+:meth:`~repro.core.state.SummationState.merge`), the repro-mode result
+bits are identical for **every** ``(workers, morsel_size)``
+combination, including the serial whole-batch path.  IEEE mode keeps
+plain float partials, so its results may drift with the split — the
+engine-layer demonstration of the paper's motivating problem.
+
+Timing hooks: per-worker busy time is measured with
+``time.thread_time`` (CPU time of that thread only), so
+:meth:`PipelineStats.critical_path` models the wall-clock of the plan
+on ``workers`` dedicated cores even when the host serialises the
+threads (GIL, single-core CI runners).
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from .expr import evaluate
+from .operators import (
+    AggregateSpec,
+    Batch,
+    OperatorTimings,
+    PartialGroupTable,
+)
+from .sql import ast
+
+__all__ = [
+    "DEFAULT_MORSEL_SIZE",
+    "ExecutionContext",
+    "PipelineStats",
+    "run_grouped_pipeline",
+    "run_projection_pipeline",
+]
+
+#: Default morsel size: big enough to amortise NumPy dispatch, small
+#: enough that a few morsels exist at TPC-H bench scales.
+DEFAULT_MORSEL_SIZE = 1 << 16
+
+
+class ExecutionContext:
+    """Execution knobs threaded from the session into the pipeline."""
+
+    def __init__(self, workers: int = 1,
+                 morsel_size: int = DEFAULT_MORSEL_SIZE):
+        workers = int(workers)
+        morsel_size = int(morsel_size)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if morsel_size < 1:
+            raise ValueError("morsel_size must be >= 1")
+        self.workers = workers
+        self.morsel_size = morsel_size
+        #: Stats of the most recent pipeline run (set by the drivers).
+        self.last_stats: PipelineStats | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._finalizer = None
+
+    def pool(self) -> ThreadPoolExecutor:
+        """The context's worker pool, created lazily and reused across
+        queries (spawning threads per SELECT would dominate small
+        queries).  Shut down when the context is garbage collected."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            self._finalizer = weakref.finalize(
+                self, self._pool.shutdown, wait=False
+            )
+        return self._pool
+
+
+class PipelineStats:
+    """Per-query pipeline accounting.
+
+    ``worker_busy[w]`` is worker ``w``'s CPU time (``time.thread_time``),
+    so :meth:`critical_path` is the modelled wall-clock on dedicated
+    cores: the slowest worker plus the serial merge + finalize tail.
+    """
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self.worker_busy = [0.0] * workers
+        self.worker_morsels = [0] * workers
+        self.morsel_count = 0
+        self.merge_seconds = 0.0
+        self.finalize_seconds = 0.0
+        self.wall_seconds = 0.0
+
+    def critical_path(self) -> float:
+        busiest = max(self.worker_busy) if self.worker_busy else 0.0
+        return busiest + self.merge_seconds + self.finalize_seconds
+
+    def total_busy(self) -> float:
+        return sum(self.worker_busy) + self.merge_seconds + self.finalize_seconds
+
+    def modeled_speedup(self) -> float:
+        """Work over critical path: the speedup ``workers`` cores buy."""
+        critical = self.critical_path()
+        return self.total_busy() / critical if critical > 0 else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PipelineStats({self.workers} workers, "
+            f"{self.morsel_count} morsels, "
+            f"critical_path={self.critical_path():.6f}s)"
+        )
+
+
+def apply_where(batch: Batch, where: ast.Expr | None) -> Batch:
+    """Filter one morsel by the WHERE predicate."""
+    if where is None:
+        return batch
+    mask = np.asarray(evaluate(where, batch.columns, batch.types))
+    if mask.shape == ():
+        mask = np.full(batch.nrows, bool(mask))
+    return batch.filter(mask.astype(bool))
+
+
+def _assignments(n_morsels: int, workers: int) -> list[list[int]]:
+    """Round-robin morsel indices per worker (deterministic)."""
+    return [list(range(w, n_morsels, workers)) for w in range(workers)]
+
+
+def _run_workers(morsels: list[Batch], context: ExecutionContext,
+                 stats: PipelineStats, work_one):
+    """Drive ``work_one(worker_id, assigned_morsel_indices)`` across the
+    worker pool, recording per-worker busy time.  Returns the worker
+    results in worker order."""
+
+    workers = min(context.workers, max(len(morsels), 1))
+
+    def timed(worker_id: int, assigned: list[int]):
+        started = time.thread_time()
+        result = work_one(worker_id, assigned)
+        stats.worker_busy[worker_id] += time.thread_time() - started
+        stats.worker_morsels[worker_id] += len(assigned)
+        return result
+
+    assignments = _assignments(len(morsels), workers)
+    if workers == 1:
+        return [timed(0, assignments[0])]
+    return list(context.pool().map(timed, range(workers), assignments))
+
+
+def run_grouped_pipeline(
+    group_exprs,
+    specs: list[AggregateSpec],
+    morsels: list[Batch],
+    where: ast.Expr | None,
+    context: ExecutionContext,
+    timings: OperatorTimings | None = None,
+):
+    """Parallel GROUP BY: per-worker partial tables, exact merge.
+
+    Returns ``(key_arrays, result_arrays, ngroups)`` in canonical
+    (sorted-key) group order.
+    """
+    wall_started = time.perf_counter()
+    stats = PipelineStats(min(context.workers, max(len(morsels), 1)))
+    stats.morsel_count = len(morsels)
+    selection_seconds = [0.0] * stats.workers
+    aggregation_seconds = [0.0] * stats.workers
+
+    def work_one(worker_id: int, assigned: list[int]) -> PartialGroupTable:
+        table = PartialGroupTable(group_exprs, specs)
+        for index in assigned:
+            t0 = time.thread_time()
+            filtered = apply_where(morsels[index], where)
+            t1 = time.thread_time()
+            table.update(filtered)
+            t2 = time.thread_time()
+            selection_seconds[worker_id] += t1 - t0
+            aggregation_seconds[worker_id] += t2 - t1
+        return table
+
+    tables = _run_workers(morsels, context, stats, work_one)
+
+    merge_started = time.thread_time()
+    root = tables[0]
+    for table in tables[1:]:
+        root.merge(table)
+    stats.merge_seconds = time.thread_time() - merge_started
+
+    finalize_started = time.thread_time()
+    key_arrays, results, ngroups = root.finalize()
+    stats.finalize_seconds = time.thread_time() - finalize_started
+
+    stats.wall_seconds = time.perf_counter() - wall_started
+    context.last_stats = stats
+    if timings is not None:
+        timings.add("selection", sum(selection_seconds))
+        timings.add(
+            "aggregation",
+            sum(aggregation_seconds) + stats.merge_seconds
+            + stats.finalize_seconds,
+        )
+    return key_arrays, results, ngroups
+
+
+def run_projection_pipeline(
+    items,
+    morsels: list[Batch],
+    where: ast.Expr | None,
+    context: ExecutionContext,
+    timings: OperatorTimings | None = None,
+):
+    """Parallel filter + project; morsel order is preserved on gather.
+
+    Returns ``(names, arrays)``.
+    """
+    wall_started = time.perf_counter()
+    stats = PipelineStats(min(context.workers, max(len(morsels), 1)))
+    stats.morsel_count = len(morsels)
+    selection_seconds = [0.0] * stats.workers
+
+    def project_one(batch: Batch):
+        names, arrays = [], []
+        for i, item in enumerate(items):
+            if isinstance(item.expr, ast.Star):
+                for name, arr in batch.columns.items():
+                    names.append(name)
+                    arrays.append(arr)
+                continue
+            value = evaluate(item.expr, batch.columns, batch.types)
+            arr = np.asarray(value)
+            if arr.shape == ():
+                arr = np.full(batch.nrows, value)
+            names.append(item.output_name(i))
+            arrays.append(arr)
+        return names, arrays
+
+    def work_one(worker_id: int, assigned: list[int]):
+        out = []
+        for index in assigned:
+            t0 = time.thread_time()
+            filtered = apply_where(morsels[index], where)
+            selection_seconds[worker_id] += time.thread_time() - t0
+            out.append((index, project_one(filtered)))
+        return out
+
+    per_worker = _run_workers(morsels, context, stats, work_one)
+
+    gather_started = time.thread_time()
+    pieces = sorted(
+        (piece for chunk in per_worker for piece in chunk),
+        key=lambda item: item[0],
+    )
+    names = pieces[0][1][0]
+    columns = [[piece[1][1][i] for piece in pieces] for i in range(len(names))]
+    arrays = [
+        parts[0] if len(parts) == 1 else np.concatenate(parts)
+        for parts in columns
+    ]
+    stats.finalize_seconds = time.thread_time() - gather_started
+
+    stats.wall_seconds = time.perf_counter() - wall_started
+    context.last_stats = stats
+    if timings is not None:
+        timings.add("selection", sum(selection_seconds))
+    return names, arrays

@@ -16,6 +16,7 @@ from .catalog import Catalog
 from .executor import QueryResult, execute_select
 from .expr import evaluate
 from .operators import OperatorTimings, SumConfig
+from .pipeline import DEFAULT_MORSEL_SIZE, ExecutionContext, PipelineStats
 from .sql import ast, parse
 from .types import type_from_name
 
@@ -24,6 +25,12 @@ __all__ = ["Database"]
 
 class Database:
     """An in-memory SQL database with configurable SUM semantics.
+
+    ``workers`` and ``morsel_size`` configure the morsel-driven parallel
+    pipeline (:mod:`repro.engine.pipeline`).  In the repro sum modes the
+    result bits are identical for every setting of either knob; in IEEE
+    mode they may drift — the paper's point, now demonstrable with two
+    session parameters.
 
     >>> db = Database(sum_mode="repro")
     >>> db.execute("CREATE TABLE r (i INT, f DOUBLE)")
@@ -35,10 +42,17 @@ class Database:
     """
 
     def __init__(self, sum_mode: str = "ieee", levels: int = 2,
-                 buffer_size: int | None = None):
+                 buffer_size: int | None = None, workers: int = 1,
+                 morsel_size: int = DEFAULT_MORSEL_SIZE):
         self.catalog = Catalog()
         self.sum_config = SumConfig(sum_mode, levels, buffer_size)
+        self.execution_context = ExecutionContext(workers, morsel_size)
         self.last_timings: OperatorTimings | None = None
+
+    @property
+    def last_pipeline_stats(self) -> PipelineStats | None:
+        """Pipeline accounting of the most recent SELECT."""
+        return self.execution_context.last_stats
 
     # -- public API -------------------------------------------------------
     def execute(self, sql_text: str):
@@ -51,7 +65,8 @@ class Database:
         if isinstance(stmt, ast.Select):
             timings = OperatorTimings()
             result = execute_select(
-                stmt, self.catalog.get, self.sum_config, timings
+                stmt, self.catalog.get, self.sum_config, timings,
+                self.execution_context,
             )
             self.last_timings = timings
             return result

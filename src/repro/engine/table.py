@@ -159,6 +159,29 @@ class Table:
             for col_name, _ in self.schema.columns
         }
 
+    def morsels(self, morsel_size: int):
+        """Visible rows as columnar chunks of at most ``morsel_size`` rows.
+
+        Chunks are zero-copy views over the scan arrays, yielded in
+        physical order; an empty table yields one empty morsel so
+        downstream operators still see the column dtypes.  This is the
+        scan interface of the morsel-driven pipeline
+        (:mod:`repro.engine.pipeline`).
+        """
+        if morsel_size < 1:
+            raise ValueError("morsel_size must be >= 1")
+        data = self.scan()
+        names = self.schema.names()
+        nrows = len(data[names[0]]) if names else 0
+        if nrows == 0:
+            yield data
+            return
+        for start in range(0, nrows, morsel_size):
+            yield {
+                name: arr[start : start + morsel_size]
+                for name, arr in data.items()
+            }
+
     def physical_scan(self) -> tuple[dict, np.ndarray]:
         """All row versions plus the validity mask (for UPDATE/DELETE)."""
         return (

@@ -110,3 +110,21 @@ class TestGroupSumFacade:
         a = group_sum(keys, values, threads=1)
         b = group_sum(keys, values, threads=7)
         assert a.bit_equal(b)
+
+
+class TestInputValidation:
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="same length"):
+            group_sum([1, 2, 3], [0.5, 0.25])
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError, match="at least one"):
+            group_sum([], [])
+
+    def test_non_1d_inputs_raise(self):
+        with pytest.raises(ValueError, match="1-D"):
+            group_sum(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_scalar_inputs_raise(self):
+        with pytest.raises(ValueError, match="1-D"):
+            group_sum(1, 2.0)

@@ -1,0 +1,189 @@
+"""Parallel-pipeline reproducibility: the paper's invariant at the
+engine layer.
+
+For the repro sum modes, ``Database.execute`` must return bit-identical
+result arrays for every ``(workers, morsel_size)`` combination —
+including ``workers=1``, which must match the pre-refactor serial
+whole-column kernels (``grouped_float_sum``) bit-for-bit.  IEEE mode is
+*allowed* (and shown) to drift under the same knobs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database, ExecutionContext, grouped_float_sum
+from repro.engine.pipeline import DEFAULT_MORSEL_SIZE
+
+WORKERS = (1, 2, 4, 8)
+MORSEL_SIZES = (1, 7, 64, 4096)
+REPRO_MODES = ("repro", "repro_buffered", "sorted")
+
+N_ROWS = 240
+N_KEYS = 8
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(42)
+    keys = rng.integers(0, N_KEYS, size=N_ROWS)
+    labels = np.array(["x", "y", "z"], dtype=object)[
+        rng.integers(0, 3, size=N_ROWS)
+    ]
+    # ~40 binades with mixed signs: hard enough that IEEE association
+    # visibly matters, well inside the repro ladder range.
+    exponents = rng.uniform(-20, 20, size=N_ROWS)
+    signs = rng.choice([-1.0, 1.0], size=N_ROWS)
+    values = signs * rng.uniform(1.0, 2.0, size=N_ROWS) * np.exp2(exponents)
+    return keys, labels, values
+
+
+def make_db(dataset, sum_mode, workers=1, morsel_size=DEFAULT_MORSEL_SIZE):
+    keys, labels, values = dataset
+    db = Database(sum_mode=sum_mode, workers=workers, morsel_size=morsel_size)
+    db.execute("CREATE TABLE g (k INT, s VARCHAR(1), v DOUBLE)")
+    db.table("g").bulk_load(
+        {"k": keys.tolist(), "s": labels.tolist(), "v": values.tolist()}
+    )
+    return db
+
+QUERY = (
+    "SELECT k, s, SUM(v), RSUM(v), AVG(v), COUNT(*), MIN(v), MAX(v), "
+    "STDDEV(v) FROM g WHERE v > -1e300 GROUP BY k, s ORDER BY k, s"
+)
+
+
+def result_bits(result):
+    return tuple(np.asarray(arr).tobytes() for arr in result.arrays)
+
+
+class TestReproModesBitIdentical:
+    @pytest.mark.parametrize("mode", REPRO_MODES)
+    def test_bits_invariant_under_workers_and_morsel_size(self, dataset, mode):
+        baseline = result_bits(make_db(dataset, mode).execute(QUERY))
+        for workers in WORKERS:
+            for morsel_size in MORSEL_SIZES:
+                db = make_db(dataset, mode, workers, morsel_size)
+                bits = result_bits(db.execute(QUERY))
+                assert bits == baseline, (
+                    f"{mode} drifted at workers={workers}, "
+                    f"morsel_size={morsel_size}"
+                )
+
+    @pytest.mark.parametrize("mode", ("repro", "repro_buffered"))
+    def test_workers1_matches_pre_refactor_serial_kernel(self, dataset, mode):
+        """The one-shot whole-column kernel is the pre-pipeline serial
+        path; workers=1 (and any other split) must reproduce its bits."""
+        keys, _, values = dataset
+        _, gids = np.unique(keys, return_inverse=True)
+        expected = grouped_float_sum(values, gids, N_KEYS, mode, levels=2)
+        for workers, morsel_size in ((1, DEFAULT_MORSEL_SIZE), (4, 7)):
+            db = make_db(dataset, mode, workers, morsel_size)
+            got = db.execute(
+                "SELECT k, SUM(v) AS total FROM g GROUP BY k ORDER BY k"
+            ).column("total")
+            assert got.tobytes() == expected.tobytes()
+
+    def test_rsum_reproducible_even_in_ieee_session(self, dataset):
+        """RSUM(expr) ignores the session mode: bit-stable under any
+        split even when the session runs conventional IEEE sums."""
+        keys, _, values = dataset
+        _, gids = np.unique(keys, return_inverse=True)
+        expected = grouped_float_sum(values, gids, N_KEYS, "repro", levels=3)
+        for workers in (1, 4):
+            for morsel_size in (13, 4096):
+                db = make_db(dataset, "ieee", workers, morsel_size)
+                got = db.execute(
+                    "SELECT k, RSUM(v, 3) AS total FROM g GROUP BY k ORDER BY k"
+                ).column("total")
+                assert got.tobytes() == expected.tobytes()
+
+    def test_nan_and_signed_zero_keys_split_invariant(self):
+        """NaN and -0.0/0.0 group keys must coalesce identically no
+        matter how the input is split (np.unique collapses them within
+        a morsel; the key table must do the same across morsels)."""
+
+        def run(workers, morsel_size):
+            db = Database(sum_mode="repro", workers=workers,
+                          morsel_size=morsel_size)
+            db.execute("CREATE TABLE t (k DOUBLE, v DOUBLE)")
+            db.table("t").bulk_load({
+                "k": [float("nan"), 2.0, float("nan"), float("nan"),
+                      -0.0, 0.0],
+                "v": [1.0, 1.0, 1.0, 1.0, 5.0, 7.0],
+            })
+            return result_bits(
+                db.execute("SELECT k, SUM(v) FROM t GROUP BY k ORDER BY k")
+            )
+
+        baseline = run(1, DEFAULT_MORSEL_SIZE)
+        for workers in (1, 2, 4):
+            for morsel_size in (1, 2, 3):
+                assert run(workers, morsel_size) == baseline
+
+    def test_projection_preserves_row_order(self, dataset):
+        """Filter + project must gather morsels in scan order."""
+        serial = make_db(dataset, "ieee").execute(
+            "SELECT v FROM g WHERE v > 0"
+        )
+        parallel = make_db(dataset, "ieee", workers=3, morsel_size=11).execute(
+            "SELECT v FROM g WHERE v > 0"
+        )
+        assert parallel.column("v").tobytes() == serial.column("v").tobytes()
+
+
+class TestIeeeModeCanDiffer:
+    def test_ieee_sum_differs_across_splits(self):
+        """Companion demonstration: conventional IEEE SUM changes its
+        bits when the same rows are aggregated under a different
+        parallel split — the engine-layer version of the paper's
+        Algorithm 1 experiment.
+
+        Serial order sums (1 + 1e16) + 1 - 1e16 = 0.0 (each +1 is
+        absorbed); the two-worker, morsel_size=1 split sums the small
+        and large values separately, (1 + 1) + (1e16 - 1e16) = 2.0.
+        """
+        rows = [1.0, 1e16, 1.0, -1e16]
+
+        def ieee_sum(workers, morsel_size):
+            db = Database(sum_mode="ieee", workers=workers,
+                          morsel_size=morsel_size)
+            db.execute("CREATE TABLE t (v DOUBLE)")
+            db.table("t").bulk_load({"v": rows})
+            return db.execute("SELECT SUM(v) FROM t").scalar()
+
+        serial = ieee_sum(1, DEFAULT_MORSEL_SIZE)
+        split = ieee_sum(2, 1)
+        assert serial == 0.0
+        assert split == 2.0
+        assert serial != split
+
+    def test_repro_mode_closes_the_same_gap(self):
+        rows = [1.0, 1e16, 1.0, -1e16]
+
+        def repro_sum(workers, morsel_size):
+            db = Database(sum_mode="repro", workers=workers,
+                          morsel_size=morsel_size)
+            db.execute("CREATE TABLE t (v DOUBLE)")
+            db.table("t").bulk_load({"v": rows})
+            return db.execute("SELECT SUM(v) FROM t").scalar()
+
+        assert repro_sum(1, DEFAULT_MORSEL_SIZE) == repro_sum(2, 1)
+
+
+class TestExecutionContext:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionContext(morsel_size=0)
+
+    def test_pipeline_stats_exposed(self, dataset):
+        db = make_db(dataset, "repro", workers=4, morsel_size=16)
+        db.execute(QUERY)
+        stats = db.last_pipeline_stats
+        assert stats is not None
+        assert stats.morsel_count == -(-N_ROWS // 16)
+        assert len(stats.worker_busy) == 4
+        assert sum(stats.worker_morsels) == stats.morsel_count
+        assert stats.critical_path() > 0.0
+        assert stats.total_busy() >= stats.critical_path()

@@ -16,22 +16,69 @@ mirrored under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
 
 from repro.analysis.reporting import banner, format_table
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+def results_dir() -> str:
+    """Where reports land: ``REPRO_BENCH_RESULTS_DIR`` if set (CI
+    redirects artifacts there), else ``benchmarks/results/``."""
+    override = os.environ.get("REPRO_BENCH_RESULTS_DIR")
+    if override:
+        return override
+    return os.path.join(os.path.dirname(__file__), "results")
+
+
+#: Kept for callers that import the constant; prefer :func:`results_dir`.
+RESULTS_DIR = results_dir()
+
+#: Machine-readable per-kernel numbers for the CI bench-regression gate
+#: (compared against ``benchmarks/baseline.json``).
+BENCH_JSON = "BENCH_pr.json"
 
 
 def emit(name: str, *sections: str) -> None:
-    """Print a report and mirror it to benchmarks/results/<name>.txt."""
+    """Print a report and mirror it to <results_dir>/<name>.txt."""
     text = "\n\n".join([banner(name)] + list(sections)) + "\n"
     print("\n" + text)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+    target = results_dir()
+    os.makedirs(target, exist_ok=True)
+    path = os.path.join(target, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
+
+
+def _load_bench_json(path: str) -> dict:
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    return {"ns_per_element": {}, "speedups": {}}
+
+
+def record_kernel(name: str, ns: float) -> None:
+    """Merge one kernel's ns/element into <results_dir>/BENCH_pr.json."""
+    _record("ns_per_element", name, ns)
+
+
+def record_speedup(name: str, ratio: float) -> None:
+    """Merge one speedup ratio (dimensionless, machine-relative) into
+    <results_dir>/BENCH_pr.json."""
+    _record("speedups", name, ratio)
+
+
+def _record(section: str, name: str, value: float) -> None:
+    target = results_dir()
+    os.makedirs(target, exist_ok=True)
+    path = os.path.join(target, BENCH_JSON)
+    payload = _load_bench_json(path)
+    payload.setdefault(section, {})[name] = round(float(value), 4)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def table(headers, rows, title="") -> str:

@@ -23,7 +23,7 @@ workers=1 exceeds 1.5x for at least one sum mode.
 
 import time
 
-from _common import emit, table
+from _common import emit, record_kernel, table
 from repro.engine import Database
 from repro.tpch import load_lineitem, run_q1
 
@@ -54,6 +54,13 @@ def test_parallel_scaling_report():
         mode: {workers: measure(mode, workers) for workers in WORKER_COUNTS}
         for mode in MODES
     }
+
+    for mode in MODES:
+        for workers in (1, 4):
+            record_kernel(
+                f"q1_{mode}_workers{workers}",
+                results[mode][workers]["critical"] / ROWS * 1e9,
+            )
 
     body = []
     for mode in MODES:

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Compare a BENCH_pr.json against the committed benchmark baseline.
+
+Usage:
+    python scripts/check_bench_regression.py CURRENT BASELINE \
+        [--tolerance 0.25] [--update-baseline]
+
+``ns_per_element`` kernels fail when the current value exceeds the
+baseline by more than the tolerance (default 25%, overridable with
+``--tolerance`` or the ``REPRO_BENCH_TOLERANCE`` env var).  The
+``speedup_floors`` section of the baseline holds hard lower bounds on
+the measured ``speedups`` ratios — ratios are machine-relative, so they
+gate reliably even when absolute timings move with the runner.
+
+``--update-baseline`` rewrites the baseline's ``ns_per_element``
+section from the current run (floors are left untouched).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH_pr.json from this run")
+    parser.add_argument("baseline", help="committed benchmarks/baseline.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25")),
+        help="allowed fractional ns/element regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline ns/element numbers from the current run",
+    )
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    if args.update_baseline:
+        baseline["ns_per_element"] = current.get("ns_per_element", {})
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline ns/element updated from {args.current}")
+        return 0
+
+    failures = []
+    current_ns = current.get("ns_per_element", {})
+    reference_ns = baseline.get("ns_per_element", {})
+    for kernel, reference in sorted(reference_ns.items()):
+        measured = current_ns.get(kernel)
+        if measured is None:
+            failures.append(f"{kernel}: missing from current run")
+            continue
+        limit = reference * (1.0 + args.tolerance)
+        ratio = measured / reference if reference else float("inf")
+        status = "FAIL" if measured > limit else "ok"
+        print(
+            f"[{status}] {kernel}: {measured:.1f} ns/el "
+            f"(baseline {reference:.1f}, {ratio:.2f}x, limit {limit:.1f})"
+        )
+        if measured > limit:
+            failures.append(
+                f"{kernel}: {measured:.1f} ns/el exceeds {limit:.1f} "
+                f"(baseline {reference:.1f} +{args.tolerance:.0%})"
+            )
+
+    current_speedups = current.get("speedups", {})
+    for name, floor in sorted(baseline.get("speedup_floors", {}).items()):
+        measured = current_speedups.get(name)
+        if measured is None:
+            failures.append(f"speedup {name}: missing from current run")
+            continue
+        status = "FAIL" if measured < floor else "ok"
+        print(f"[{status}] speedup {name}: {measured:.2f}x (floor {floor}x)")
+        if measured < floor:
+            failures.append(
+                f"speedup {name}: {measured:.2f}x below the {floor}x floor"
+            )
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

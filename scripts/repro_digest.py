@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Canonical-query reproducibility digest for the CI matrix.
+
+Runs a fixed query set under the repro sum modes across every
+``(workers, morsel_size, vectorized)`` combination, asserts the result
+bits are identical *within* this process, and writes one digest line
+per (query, mode) to ``--out`` (default ``repro_digest.txt``).
+
+The digest deliberately excludes the execution knobs: a leg running
+``--workers 1,2`` and a leg running ``--workers 4,8`` — or a different
+OS / Python — must produce byte-identical files.  The CI compare job
+downloads every leg's digest and fails if any two differ, which is the
+paper's reproducibility claim turned into a cross-platform gate.
+
+Worker counts can also come from the ``REPRO_DIGEST_WORKERS`` env var
+(comma-separated), so matrix legs vary them without changing the
+command line.
+"""
+
+import argparse
+import hashlib
+import os
+import sys
+
+import numpy as np
+
+from repro.engine import Database
+from repro.tpch import Q1_SQL, Q6_SQL, load_lineitem
+
+MODES = ("repro", "repro_buffered", "sorted")
+MORSEL_SIZES = (1 << 16, 4096, 257)
+TPCH_SCALE = 0.002  # ~12k lineitem rows: fast, still multi-morsel
+
+MIXED_QUERY = (
+    "SELECT k, s, SUM(v) AS sv, RSUM(v, 3) AS rv, AVG(v) AS av, "
+    "COUNT(*) AS c, MIN(v) AS lo, MAX(v) AS hi, STDDEV(v) AS sd "
+    "FROM obs GROUP BY k, s ORDER BY k, s"
+)
+EDGE_QUERY = "SELECT k, SUM(v) AS sv, COUNT(*) AS c FROM edge GROUP BY k ORDER BY k"
+
+
+def _mixed_data():
+    rng = np.random.default_rng(20180416)  # ICDE'18, deterministic
+    n = 4000
+    keys = rng.integers(0, 23, size=n)
+    labels = np.array(["x", "y", "z"], dtype=object)[rng.integers(0, 3, n)]
+    values = (
+        rng.choice([-1.0, 1.0], size=n)
+        * rng.uniform(1.0, 2.0, size=n)
+        * np.exp2(rng.uniform(-40, 40, size=n))
+    )
+    values[::401] = 0.0
+    values[1::409] = -0.0
+    return keys, labels, values
+
+
+def _edge_data():
+    keys = np.array(
+        [np.nan, 2.0, np.nan, -0.0, 0.0, np.inf, -np.inf, 2.0, np.nan, np.inf]
+    )
+    values = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0])
+    return keys, values
+
+
+def _load(db, which):
+    if which == "tpch":
+        load_lineitem(db, scale_factor=TPCH_SCALE)
+        return
+    if which == "mixed":
+        keys, labels, values = _mixed_data()
+        db.execute("CREATE TABLE obs (k INT, s VARCHAR(1), v DOUBLE)")
+        db.table("obs").bulk_load(
+            {
+                "k": keys.tolist(),
+                "s": labels.tolist(),
+                "v": values.tolist(),
+            }
+        )
+        return
+    keys, values = _edge_data()
+    db.execute("CREATE TABLE edge (k DOUBLE, v DOUBLE)")
+    db.table("edge").bulk_load({"k": keys.tolist(), "v": values.tolist()})
+
+
+QUERIES = (
+    ("tpch_q1", "tpch", Q1_SQL),
+    ("tpch_q6", "tpch", Q6_SQL),
+    ("mixed_aggs", "mixed", MIXED_QUERY),
+    ("edge_keys", "edge", EDGE_QUERY),
+)
+
+
+def canonical_bytes(result):
+    """Platform-independent byte form of a query result."""
+    pieces = [("|".join(result.names)).encode("utf-8")]
+    for arr in result.arrays:
+        arr = np.asarray(arr)
+        if arr.dtype.kind == "O":
+            rendered = "\x1f".join(repr(value) for value in arr.tolist())
+            pieces.append(rendered.encode("utf-8"))
+        else:
+            # Force little-endian so the IEEE bit patterns hash the
+            # same on every architecture.
+            pieces.append(arr.astype(arr.dtype.newbyteorder("<")).tobytes())
+    return b"\x1e".join(pieces)
+
+
+def digest_lines(workers):
+    lines = []
+    for query_id, source, sql in QUERIES:
+        for mode in MODES:
+            reference = None
+            reference_config = None
+            for worker_count in workers:
+                for morsel_size in MORSEL_SIZES:
+                    for vectorized in (True, False):
+                        db = Database(
+                            sum_mode=mode,
+                            workers=worker_count,
+                            morsel_size=morsel_size,
+                            vectorized=vectorized,
+                        )
+                        _load(db, source)
+                        payload = canonical_bytes(db.execute(sql))
+                        config = (worker_count, morsel_size, vectorized)
+                        if reference is None:
+                            reference = payload
+                            reference_config = config
+                        elif payload != reference:
+                            raise SystemExit(
+                                f"NON-REPRODUCIBLE: {query_id} [{mode}] "
+                                f"at {config} differs from "
+                                f"{reference_config}"
+                            )
+            digest = hashlib.sha256(reference).hexdigest()
+            lines.append(f"{query_id} {mode} {digest}")
+    return lines
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        default=os.environ.get("REPRO_DIGEST_WORKERS", "1,2,4"),
+        help="comma-separated worker counts to sweep (default 1,2,4)",
+    )
+    parser.add_argument("--out", default="repro_digest.txt")
+    args = parser.parse_args()
+    workers = [int(part) for part in args.workers.split(",") if part.strip()]
+    if not workers:
+        raise SystemExit("no worker counts given")
+
+    lines = digest_lines(workers)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    for line in lines:
+        print(line)
+    print(f"\nwrote {args.out} (workers swept: {workers})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

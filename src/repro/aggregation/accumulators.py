@@ -178,7 +178,14 @@ class ReproSpec(AggregatorSpec):
         return GroupedSummation(self.params, ngroups)
 
     def accumulate(self, table, group_ids, values):
-        table.add_pairs(group_ids, values)
+        gids = np.asarray(group_ids, dtype=np.int64)
+        if gids.size > 1 and bool((gids[1:] >= gids[:-1]).all()):
+            # Sorted runs (sort/partition-based GROUP BY feeds these):
+            # the segmented kernel is faster and — the repro states
+            # being exact under any ordering — bit-identical.
+            table.add_sorted_runs(gids, values)
+        else:
+            table.add_pairs(group_ids, values)
 
     def accumulate_elementwise(self, table, group_ids, values):
         # One ReproFloat += per pair, exactly like the unmodified

@@ -12,7 +12,13 @@ execution knobs; in IEEE mode they may drift.
 
 from .catalog import Catalog
 from .executor import QueryResult, execute_select
-from .expr import ExprError, evaluate, expression_columns, find_aggregates
+from .expr import (
+    ExprCache,
+    ExprError,
+    evaluate,
+    expression_columns,
+    find_aggregates,
+)
 from .operators import (
     AggregateSpec,
     Batch,
@@ -31,6 +37,11 @@ from .pipeline import (
 )
 from .session import Database
 from .sql import SqlLexError, SqlParseError, parse, parse_expression, tokenize
+from .vectorized import (
+    SortedMorsel,
+    VectorizedGroupTable,
+    plan_supports_vectorized,
+)
 from .table import Column, Schema, Table
 from .types import (
     BIGINT,
@@ -57,6 +68,9 @@ __all__ = [
     "DEFAULT_MORSEL_SIZE",
     "AggregateSpec",
     "PartialGroupTable",
+    "VectorizedGroupTable",
+    "SortedMorsel",
+    "plan_supports_vectorized",
     "run_grouped_pipeline",
     "run_projection_pipeline",
     "Table",
@@ -75,6 +89,7 @@ __all__ = [
     "SqlParseError",
     "SqlLexError",
     "evaluate",
+    "ExprCache",
     "ExprError",
     "expression_columns",
     "find_aggregates",

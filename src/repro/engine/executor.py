@@ -13,7 +13,7 @@ import time
 
 import numpy as np
 
-from .expr import ExprError, evaluate, find_aggregates
+from .expr import ExprError, evaluate, expression_columns, find_aggregates
 from .operators import Batch, GroupByOp, OperatorTimings, SumConfig
 from .pipeline import (
     ExecutionContext,
@@ -23,6 +23,7 @@ from .pipeline import (
 from .sql import ast
 from .table import Table
 from .types import SqlType
+from .vectorized import plan_supports_vectorized
 
 __all__ = ["QueryResult", "execute_select"]
 
@@ -82,14 +83,48 @@ def execute_select(
     if context is None:
         context = ExecutionContext()
 
+    # --- plan shape: find the aggregates first (drives the scan) -----------
+    aggregates: list[ast.FuncCall] = []
+    for item in stmt.items:
+        aggregates.extend(find_aggregates(item.expr))
+    if stmt.having is not None:
+        aggregates.extend(find_aggregates(stmt.having))
+    grouped = bool(stmt.group_by) or bool(aggregates)
+
     # --- scan: materialise the morsel list (column views) -----------------
     started = time.perf_counter()
     if stmt.table is not None:
         table: Table = get_table(stmt.table)
         types = {name: table.schema.type_of(name) for name in table.schema.names()}
-        morsels = [
-            Batch(chunk, types) for chunk in table.morsels(context.morsel_size)
-        ]
+        columns = None
+        encodings: dict = {}
+        if grouped and context.vectorized and plan_supports_vectorized(
+            stmt.group_by, aggregates, stmt.where
+        ):
+            # Vectorized GROUP BY: scan only the referenced columns and
+            # hand the key columns over dictionary-encoded.
+            needed: set[str] = set()
+            for expr in stmt.group_by:
+                needed |= expression_columns(expr)
+            for call in aggregates:
+                needed |= expression_columns(call)
+            if stmt.where is not None:
+                needed |= expression_columns(stmt.where)
+            columns = [name for name in table.schema.names() if name in needed]
+            encodings = table.key_encodings(
+                [expr.name for expr in stmt.group_by
+                 if isinstance(expr, ast.ColumnRef)]
+            )
+        morsels = []
+        offset = 0
+        for chunk in table.morsels(context.morsel_size, columns):
+            nrows = len(next(iter(chunk.values()))) if chunk else 0
+            chunk_encodings = {
+                name: (codes[offset:offset + nrows], uniques)
+                for name, (codes, uniques) in encodings.items()
+            } or None
+            morsels.append(Batch(chunk, types, chunk_encodings))
+            offset += nrows
     else:
         types = {}
         batch = Batch({}, {})
@@ -97,14 +132,6 @@ def execute_select(
         morsels = [batch]
     if timings is not None:
         timings.add("scan", time.perf_counter() - started)
-
-    # --- aggregate or plain projection --------------------------------------
-    aggregates: list[ast.FuncCall] = []
-    for item in stmt.items:
-        aggregates.extend(find_aggregates(item.expr))
-    if stmt.having is not None:
-        aggregates.extend(find_aggregates(stmt.having))
-    grouped = bool(stmt.group_by) or bool(aggregates)
 
     if grouped:
         names, arrays = _execute_grouped(

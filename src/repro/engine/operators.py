@@ -52,19 +52,33 @@ __all__ = [
 
 
 class Batch:
-    """Columnar batch: arrays + SQL types + row count."""
+    """Columnar batch: arrays + SQL types + row count.
 
-    def __init__(self, columns: dict, types: dict[str, SqlType]):
+    ``encodings`` optionally carries dictionary encodings of key
+    columns — ``{name: (codes, uniques)}`` with ``codes`` aligned to the
+    batch rows — produced by the storage layer and consumed by the
+    vectorized GROUP BY (:mod:`repro.engine.vectorized`).
+    """
+
+    def __init__(self, columns: dict, types: dict[str, SqlType],
+                 encodings: dict | None = None):
         self.columns = columns
         self.types = types
+        self.encodings = encodings or {}
         lengths = {len(v) for v in columns.values()}
         if len(lengths) > 1:
             raise ValueError("ragged batch")
         self.nrows = lengths.pop() if lengths else 0
 
     def filter(self, mask: np.ndarray) -> "Batch":
+        encodings = {
+            name: (codes[mask], uniques)
+            for name, (codes, uniques) in self.encodings.items()
+        } or None
         return Batch(
-            {name: arr[mask] for name, arr in self.columns.items()}, self.types
+            {name: arr[mask] for name, arr in self.columns.items()},
+            self.types,
+            encodings,
         )
 
 
@@ -548,19 +562,29 @@ class PartialGroupTable:
         for inv, uniq in zip(inverses[1:], uniques[1:]):
             combined = combined * len(uniq) + inv
         dense_uniq, morsel_gids = np.unique(combined, return_inverse=True)
-        # Decode the composite codes back into per-key distinct values.
-        key_cols = []
-        radix = dense_uniq
-        for uniq in reversed(uniques[1:]):
-            key_cols.append(uniq[radix % len(uniq)])
-            radix = radix // len(uniq)
-        key_cols.append(uniques[0][radix])
-        key_cols.reverse()
+        key_cols = self._decode_columns(
+            dense_uniq, uniques, [len(uniq) for uniq in uniques]
+        )
         lut = np.empty(len(dense_uniq), dtype=np.int64)
         for j in range(len(dense_uniq)):
             key = tuple(col[j] for col in key_cols)
             lut[j] = self._register(key)
         return lut[morsel_gids.astype(np.int64)]
+
+    @staticmethod
+    def _decode_columns(dense: np.ndarray, uniques: list,
+                        bases: list[int]) -> list:
+        """Split composite radix codes back into per-key distinct values
+        (shared by the scalar and vectorized factorizations, so the key
+        decode cannot diverge between the two paths)."""
+        key_cols = []
+        radix = dense
+        for uniq, base in zip(reversed(uniques[1:]), reversed(bases[1:])):
+            key_cols.append(uniq[radix % base])
+            radix = radix // base
+        key_cols.append(uniques[0][radix])
+        key_cols.reverse()
+        return key_cols
 
     def _register(self, key: tuple) -> int:
         ident = _key_identity(key)
@@ -607,6 +631,12 @@ class PartialGroupTable:
             col[g] = key[i]
         return col
 
+    def _finalize_results(self, ngroups: int) -> list:
+        """Per-spec result arrays in table gid order (hook for the
+        vectorized subclass, whose physical states are shared between
+        specs)."""
+        return [state.finalize(ngroups) for state in self.states]
+
     def finalize(self):
         """Returns (key_arrays, result_arrays, ngroups), canonical order."""
         ngroups = self.ngroups
@@ -616,10 +646,10 @@ class PartialGroupTable:
             for i in range(len(self.group_exprs)):
                 col = self._key_column(i)
                 key_arrays.append(col if order is None else col[order])
-        results = []
-        for state in self.states:
-            arr = state.finalize(ngroups)
-            results.append(arr if order is None else arr[order])
+        results = [
+            arr if order is None else arr[order]
+            for arr in self._finalize_results(ngroups)
+        ]
         return key_arrays, results, ngroups
 
 

@@ -40,6 +40,7 @@ from .operators import (
     PartialGroupTable,
 )
 from .sql import ast
+from .vectorized import VectorizedGroupTable, plan_supports_vectorized
 
 __all__ = [
     "DEFAULT_MORSEL_SIZE",
@@ -58,7 +59,8 @@ class ExecutionContext:
     """Execution knobs threaded from the session into the pipeline."""
 
     def __init__(self, workers: int = 1,
-                 morsel_size: int = DEFAULT_MORSEL_SIZE):
+                 morsel_size: int = DEFAULT_MORSEL_SIZE,
+                 vectorized: bool = True):
         workers = int(workers)
         morsel_size = int(morsel_size)
         if workers < 1:
@@ -67,6 +69,10 @@ class ExecutionContext:
             raise ValueError("morsel_size must be >= 1")
         self.workers = workers
         self.morsel_size = morsel_size
+        #: Use the batched kernels of :mod:`repro.engine.vectorized` for
+        #: GROUP BY plans they support (bit-identical repro results;
+        #: unsupported plans fall back to the scalar path per query).
+        self.vectorized = bool(vectorized)
         #: Stats of the most recent pipeline run (set by the drivers).
         self.last_stats: PipelineStats | None = None
         self._pool: ThreadPoolExecutor | None = None
@@ -100,6 +106,9 @@ class PipelineStats:
         self.merge_seconds = 0.0
         self.finalize_seconds = 0.0
         self.wall_seconds = 0.0
+        #: True when the grouped plan ran the batched kernels
+        #: (:mod:`repro.engine.vectorized`) rather than the scalar path.
+        self.vectorized = False
 
     def critical_path(self) -> float:
         busiest = max(self.worker_busy) if self.worker_busy else 0.0
@@ -173,11 +182,16 @@ def run_grouped_pipeline(
     wall_started = time.perf_counter()
     stats = PipelineStats(min(context.workers, max(len(morsels), 1)))
     stats.morsel_count = len(morsels)
+    stats.vectorized = bool(
+        context.vectorized
+        and plan_supports_vectorized(group_exprs, specs, where)
+    )
+    make_table = VectorizedGroupTable if stats.vectorized else PartialGroupTable
     selection_seconds = [0.0] * stats.workers
     aggregation_seconds = [0.0] * stats.workers
 
     def work_one(worker_id: int, assigned: list[int]) -> PartialGroupTable:
-        table = PartialGroupTable(group_exprs, specs)
+        table = make_table(group_exprs, specs)
         for index in assigned:
             t0 = time.thread_time()
             filtered = apply_where(morsels[index], where)

@@ -32,6 +32,13 @@ class Database:
     mode they may drift — the paper's point, now demonstrable with two
     session parameters.
 
+    ``vectorized`` (default on) runs GROUP BY plans through the batched
+    columnar kernels of :mod:`repro.engine.vectorized` — dictionary-
+    encoded keys, one shared sort per morsel, segment reductions for the
+    reproducible sums.  The result bits match the scalar path for every
+    sum mode; plans the kernels cannot express fall back to the scalar
+    path automatically.
+
     >>> db = Database(sum_mode="repro")
     >>> db.execute("CREATE TABLE r (i INT, f DOUBLE)")
     0
@@ -43,10 +50,13 @@ class Database:
 
     def __init__(self, sum_mode: str = "ieee", levels: int = 2,
                  buffer_size: int | None = None, workers: int = 1,
-                 morsel_size: int = DEFAULT_MORSEL_SIZE):
+                 morsel_size: int = DEFAULT_MORSEL_SIZE,
+                 vectorized: bool = True):
         self.catalog = Catalog()
         self.sum_config = SumConfig(sum_mode, levels, buffer_size)
-        self.execution_context = ExecutionContext(workers, morsel_size)
+        self.execution_context = ExecutionContext(
+            workers, morsel_size, vectorized
+        )
         self.last_timings: OperatorTimings | None = None
 
     @property

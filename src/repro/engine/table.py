@@ -33,21 +33,39 @@ class Column:
         self.sql_type = sql_type
         self._data: list = []
         self._array: np.ndarray | None = None
+        self._encoding: tuple[np.ndarray, np.ndarray] | None = None
 
     def append(self, value) -> None:
         self._data.append(self.sql_type.coerce(value))
         self._array = None
+        self._encoding = None
 
     def extend_raw(self, values) -> None:
         """Append pre-coerced storage values (bulk load fast path)."""
         self._data.extend(values)
         self._array = None
+        self._encoding = None
 
     def array(self) -> np.ndarray:
         """The column as a NumPy array (cached until next append)."""
         if self._array is None:
             self._array = np.asarray(self._data, dtype=self.sql_type.numpy_dtype)
         return self._array
+
+    def encoding(self) -> tuple[np.ndarray, np.ndarray]:
+        """Dictionary encoding ``(codes, uniques)`` over all physical rows.
+
+        ``uniques`` holds the distinct stored values in sorted order and
+        ``codes[i]`` is the index of row ``i``'s value in ``uniques``.
+        Cached until the next append — the column-store analogue of a
+        dictionary-compressed string column, which lets the vectorized
+        GROUP BY turn key comparisons into integer arithmetic
+        (:mod:`repro.engine.vectorized`).
+        """
+        if self._encoding is None:
+            uniques, codes = np.unique(self.array(), return_inverse=True)
+            self._encoding = (codes.astype(np.int64, copy=False), uniques)
+        return self._encoding
 
     def __len__(self) -> int:
         return len(self._data)
@@ -93,6 +111,7 @@ class Table:
             for col_name, sql_type in schema.columns
         }
         self._valid: list[bool] = []
+        self._valid_arr: np.ndarray | None = None
 
     # -- size -------------------------------------------------------------
     def __len__(self) -> int:
@@ -105,7 +124,9 @@ class Table:
         return len(self._valid)
 
     def valid_mask(self) -> np.ndarray:
-        return np.asarray(self._valid, dtype=bool)
+        if self._valid_arr is None or len(self._valid_arr) != len(self._valid):
+            self._valid_arr = np.asarray(self._valid, dtype=bool)
+        return self._valid_arr
 
     # -- mutation ----------------------------------------------------------
     def insert_row(self, values: dict) -> None:
@@ -137,6 +158,7 @@ class Table:
             if self._valid[idx]:
                 self._valid[idx] = False
                 count += 1
+        self._valid_arr = None
         return count
 
     def append_versions(self, rows: list[dict]) -> None:
@@ -151,27 +173,37 @@ class Table:
             return arr[self.valid_mask()]
         return arr
 
-    def scan(self) -> dict:
-        """All visible rows in physical order, as column arrays."""
-        mask = self.valid_mask()
-        return {
-            col_name: self._columns[col_name].array()[mask]
-            for col_name, _ in self.schema.columns
-        }
+    def scan(self, columns: list[str] | None = None) -> dict:
+        """Visible rows in physical order, as column arrays.
 
-    def morsels(self, morsel_size: int):
+        ``columns`` restricts the scan to the named columns (projection
+        pushdown for the vectorized pipeline); ``None`` scans all.
+        """
+        mask = self.valid_mask()
+        names = self.schema.names() if columns is None else [
+            name.lower() for name in columns
+        ]
+        return {name: self._columns[name].array()[mask] for name in names}
+
+    def morsels(self, morsel_size: int, columns: list[str] | None = None):
         """Visible rows as columnar chunks of at most ``morsel_size`` rows.
 
         Chunks are zero-copy views over the scan arrays, yielded in
         physical order; an empty table yields one empty morsel so
         downstream operators still see the column dtypes.  This is the
         scan interface of the morsel-driven pipeline
-        (:mod:`repro.engine.pipeline`).
+        (:mod:`repro.engine.pipeline`).  ``columns`` restricts the scan
+        (projection pushdown); the chunk row count is preserved even if
+        the restriction is empty.
         """
         if morsel_size < 1:
             raise ValueError("morsel_size must be >= 1")
-        data = self.scan()
-        names = self.schema.names()
+        if columns is not None and not columns and self.schema.names():
+            # Keep one column so chunk row counts survive (COUNT(*)-only
+            # plans still need to know how many rows each morsel has).
+            columns = [self.schema.names()[0]]
+        data = self.scan(columns)
+        names = list(data.keys())
         nrows = len(data[names[0]]) if names else 0
         if nrows == 0:
             yield data
@@ -181,6 +213,27 @@ class Table:
                 name: arr[start : start + morsel_size]
                 for name, arr in data.items()
             }
+
+    def key_encodings(self, columns) -> dict:
+        """Dictionary encodings for the named object-dtype columns.
+
+        Returns ``{name: (codes, uniques)}`` where ``codes`` covers the
+        *visible* rows in physical (scan) order.  Columns with
+        non-object storage are skipped — their keys already factorize
+        cheaply with :func:`numpy.unique`.
+        """
+        out = {}
+        mask = None
+        for name in columns:
+            low = name.lower()
+            column = self._columns.get(low)
+            if column is None or column.sql_type.numpy_dtype != np.dtype(object):
+                continue
+            if mask is None:
+                mask = self.valid_mask()
+            codes, uniques = column.encoding()
+            out[low] = (codes[mask], uniques)
+        return out
 
     def physical_scan(self) -> tuple[dict, np.ndarray]:
         """All row versions plus the validity mask (for UPDATE/DELETE)."""

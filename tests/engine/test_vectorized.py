@@ -1,0 +1,329 @@
+"""Vectorized-vs-scalar equivalence: the batched kernels of
+:mod:`repro.engine.vectorized` must be invisible in the result bits.
+
+For the repro sum modes this is the paper's exactness claim carried one
+layer up: re-ordering a morsel by group id and accumulating quanta with
+segment reductions cannot change the final bits, for any
+``(workers, morsel_size)`` split.  For IEEE mode the engine makes a
+*stronger* promise than reproducibility requires: the vectorized path
+keeps the scalar path's physical-row-order accumulation, so even the
+order-sensitive mode returns identical bits (and, a fortiori, identical
+group sets).
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.grouped import GroupedSummation
+from repro.core.params import RsumParams
+from repro.engine import Database, ExprCache, plan_supports_vectorized
+from repro.engine import pipeline as pipeline_mod
+from repro.engine.operators import AggregateSpec, SumConfig
+from repro.engine.sql import ast, parse_expression
+from repro.fp.formats import BINARY32, BINARY64
+
+WORKERS = (1, 2, 4)
+MORSEL_SIZES = (1, 7, 64, 1 << 16)
+
+QUERY = (
+    "SELECT k, s, SUM(v) AS sv, RSUM(v, 3) AS rv, AVG(v) AS av, "
+    "COUNT(*) AS c, MIN(v) AS lo, MAX(v) AS hi, STDDEV(v) AS sd "
+    "FROM t GROUP BY k, s ORDER BY k, s"
+)
+
+
+def result_bits(result):
+    return tuple(np.asarray(arr).tobytes() for arr in result.arrays)
+
+
+def make_db(columns, data, sum_mode="repro", vectorized=True, workers=1,
+            morsel_size=1 << 16):
+    db = Database(sum_mode=sum_mode, workers=workers, morsel_size=morsel_size,
+                  vectorized=vectorized)
+    db.execute(f"CREATE TABLE t ({columns})")
+    db.table("t").bulk_load(data)
+    return db
+
+
+def run_both(columns, data, query, sum_mode, workers=1, morsel_size=1 << 16):
+    scalar = make_db(columns, data, sum_mode, False, workers, morsel_size)
+    vector = make_db(columns, data, sum_mode, True, workers, morsel_size)
+    scalar_result = scalar.execute(query)
+    vector_result = vector.execute(query)
+    assert scalar.last_pipeline_stats.vectorized is False
+    return scalar_result, vector_result, vector.last_pipeline_stats
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(7)
+    n = 500
+    keys = rng.integers(0, 6, size=n)
+    labels = np.array(["a", "b", "c"], dtype=object)[rng.integers(0, 3, n)]
+    exponents = rng.uniform(-25, 25, size=n)
+    values = (rng.choice([-1.0, 1.0], size=n)
+              * rng.uniform(1.0, 2.0, size=n) * np.exp2(exponents))
+    # Sprinkle the IEEE special values the kernels must canonicalise.
+    values[::97] = np.nan
+    values[1::131] = np.inf
+    values[2::151] = -np.inf
+    values[3::89] = -0.0
+    values[4::83] = 0.0
+    return {
+        "k": keys.tolist(),
+        "s": labels.tolist(),
+        "v": values.tolist(),
+    }
+
+
+class TestBitEquivalence:
+    @pytest.mark.parametrize("sum_mode",
+                             ("repro", "repro_buffered", "sorted", "ieee"))
+    def test_bits_match_scalar_for_every_split(self, dataset, sum_mode):
+        baseline = None
+        for workers in WORKERS:
+            for morsel_size in MORSEL_SIZES:
+                scalar_result, vector_result, stats = run_both(
+                    "k INT, s VARCHAR(1), v DOUBLE", dataset, QUERY,
+                    sum_mode, workers, morsel_size,
+                )
+                assert stats.vectorized is True
+                assert result_bits(vector_result) == result_bits(scalar_result)
+                if sum_mode != "ieee":
+                    # Repro modes: additionally split-invariant.
+                    if baseline is None:
+                        baseline = result_bits(vector_result)
+                    assert result_bits(vector_result) == baseline
+
+    def test_float32_values(self, dataset):
+        data = dict(dataset)
+        data["v"] = [
+            float(np.float32(v)) if np.isfinite(v) else v for v in data["v"]
+        ]
+        scalar_result, vector_result, stats = run_both(
+            "k INT, s VARCHAR(1), v FLOAT", data, QUERY, "repro", 2, 64
+        )
+        assert stats.vectorized is True
+        assert result_bits(vector_result) == result_bits(scalar_result)
+
+    def test_decimal_sum_exact_path(self, dataset):
+        data = {"k": dataset["k"], "v": [i / 100.0 for i in range(500)]}
+        query = ("SELECT k, SUM(v) AS sv, AVG(v) AS av FROM t "
+                 "GROUP BY k ORDER BY k")
+        scalar_result, vector_result, _ = run_both(
+            "k INT, v DECIMAL(12, 2)", data, query, "repro", 2, 32
+        )
+        assert result_bits(vector_result) == result_bits(scalar_result)
+
+    def test_nan_and_signed_zero_keys(self):
+        data = {
+            "k": [float("nan"), 2.0, float("nan"), -0.0, 0.0, float("inf"),
+                  float("nan"), float("inf"), 2.0],
+            "v": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        }
+        query = "SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k ORDER BY k"
+        baseline = None
+        for workers in (1, 3):
+            for morsel_size in (1, 2, 16):
+                scalar_result, vector_result, _ = run_both(
+                    "k DOUBLE, v DOUBLE", data, query, "repro",
+                    workers, morsel_size,
+                )
+                bits = result_bits(vector_result)
+                assert bits == result_bits(scalar_result)
+                baseline = baseline or bits
+                assert bits == baseline
+        # NaN keys coalesce into one group; -0.0 joins 0.0.
+        db = make_db("k DOUBLE, v DOUBLE", data)
+        rows = db.execute(query).rows()
+        assert len(rows) == 4
+
+    def test_empty_table(self):
+        for query, expect in (
+            ("SELECT COUNT(*) FROM t", [(0,)]),
+            ("SELECT SUM(v) FROM t", [(0.0,)]),
+            ("SELECT k, SUM(v) FROM t GROUP BY k", []),
+        ):
+            scalar_result, vector_result, _ = run_both(
+                "k INT, v DOUBLE", {"k": [], "v": []}, query, "repro"
+            )
+            assert vector_result.rows() == scalar_result.rows() == expect
+
+    def test_single_group_and_all_distinct_extremes(self):
+        n = 300
+        values = (np.linspace(-1.0, 1.0, n) * 2.0 ** np.arange(n % 50 + 1).sum()
+                  ).tolist()
+        one_group = {"k": [1] * n, "v": values}
+        all_distinct = {"k": list(range(n)), "v": values}
+        query = "SELECT k, SUM(v), AVG(v) FROM t GROUP BY k ORDER BY k"
+        for data in (one_group, all_distinct):
+            scalar_result, vector_result, _ = run_both(
+                "k INT, v DOUBLE", data, query, "repro", 2, 17
+            )
+            assert result_bits(vector_result) == result_bits(scalar_result)
+
+    def test_expression_keys_and_args(self, dataset):
+        query = (
+            "SELECT k + 1, SUM(v * 2 + 1), VARIANCE(ABS(v)) FROM t "
+            "WHERE NOT (v > 1e300) GROUP BY k + 1 ORDER BY k + 1"
+        )
+        data = {"k": dataset["k"], "v": [float(i) for i in range(500)]}
+        scalar_result, vector_result, stats = run_both(
+            "k INT, v DOUBLE", data, query, "repro", 2, 64
+        )
+        assert stats.vectorized is True
+        assert result_bits(vector_result) == result_bits(scalar_result)
+
+
+class TestFallback:
+    def test_plan_predicate_rejects_unknown_nodes(self):
+        config = SumConfig("repro")
+
+        class Mystery(ast.Expr):
+            def sql(self):
+                return "MYSTERY()"
+
+        call = parse_expression("SUM(v)")
+        spec = AggregateSpec(call, config)
+        assert plan_supports_vectorized([], [spec], None)
+        assert not plan_supports_vectorized([Mystery()], [spec], None)
+        assert not plan_supports_vectorized([], [spec], Mystery())
+        weird_sum = ast.FuncCall(name="SUM", args=(Mystery(),))
+        assert not plan_supports_vectorized(
+            [], [AggregateSpec(weird_sum, config)], None
+        )
+
+    def test_unsupported_plan_falls_back_to_scalar(self, dataset,
+                                                   monkeypatch):
+        monkeypatch.setattr(
+            pipeline_mod, "plan_supports_vectorized",
+            lambda *args, **kwargs: False,
+        )
+        db = make_db("k INT, s VARCHAR(1), v DOUBLE", dataset, "repro")
+        fallback = db.execute(QUERY)
+        assert db.last_pipeline_stats.vectorized is False
+        monkeypatch.undo()
+        db2 = make_db("k INT, s VARCHAR(1), v DOUBLE", dataset, "repro")
+        vectorized = db2.execute(QUERY)
+        assert db2.last_pipeline_stats.vectorized is True
+        assert result_bits(vectorized) == result_bits(fallback)
+
+    def test_session_knob_disables(self, dataset):
+        db = make_db("k INT, s VARCHAR(1), v DOUBLE", dataset, "repro",
+                     vectorized=False)
+        db.execute(QUERY)
+        assert db.last_pipeline_stats.vectorized is False
+
+
+class TestStorageEncoding:
+    def test_dictionary_cache_invalidated_by_dml(self):
+        db = make_db(
+            "k VARCHAR(1), v DOUBLE",
+            {"k": ["a", "b", "a"], "v": [1.0, 2.0, 3.0]},
+        )
+        query = "SELECT k, SUM(v) FROM t GROUP BY k ORDER BY k"
+        assert db.execute(query).rows() == [("a", 4.0), ("b", 2.0)]
+        db.execute("INSERT INTO t VALUES ('c', 10.0), ('a', 0.5)")
+        assert db.execute(query).rows() == [
+            ("a", 4.5), ("b", 2.0), ("c", 10.0)
+        ]
+        db.execute("UPDATE t SET v = 20.0 WHERE k = 'b'")
+        assert db.execute(query).rows() == [
+            ("a", 4.5), ("b", 20.0), ("c", 10.0)
+        ]
+        db.execute("DELETE FROM t WHERE k = 'a'")
+        assert db.execute(query).rows() == [("b", 20.0), ("c", 10.0)]
+
+
+class TestKernels:
+    @pytest.mark.parametrize("fmt", (BINARY64, BINARY32))
+    def test_add_sorted_runs_matches_add_pairs(self, fmt):
+        rng = np.random.default_rng(11)
+        params = RsumParams(fmt, 2)
+        n, ngroups = 400, 9
+        gids = np.sort(rng.integers(0, ngroups, size=n))
+        values = (rng.choice([-1.0, 1.0], size=n)
+                  * rng.uniform(1.0, 2.0, size=n)
+                  * np.exp2(rng.uniform(-30, 30, size=n))).astype(fmt.dtype)
+        values[::53] = np.nan
+        values[1::61] = np.inf
+        values[2::67] = -np.inf
+        values[3::41] = 0.0
+        sorted_runs = GroupedSummation(params, ngroups)
+        sorted_runs.add_sorted_runs(gids, values)
+        pairs = GroupedSummation(params, ngroups)
+        permutation = rng.permutation(n)
+        pairs.add_pairs(gids[permutation], values[permutation])
+        assert sorted_runs.state_tuples() == pairs.state_tuples()
+
+    def test_add_sorted_runs_mixed_ladders(self):
+        # Wildly different magnitudes per group exercise the
+        # non-uniform (per-element anchor) branch.
+        params = RsumParams(BINARY64, 3)
+        gids = np.array([0, 0, 1, 1, 2, 2], dtype=np.int64)
+        values = np.array([1e200, -1e180, 1e-300, 2e-300, 1.0, -1.0])
+        sorted_runs = GroupedSummation(params, 3)
+        sorted_runs.add_sorted_runs(gids, values)
+        pairs = GroupedSummation(params, 3)
+        pairs.add_pairs(gids[::-1], values[::-1])
+        assert sorted_runs.state_tuples() == pairs.state_tuples()
+
+    def test_add_sorted_runs_validates(self):
+        params = RsumParams(BINARY64, 2)
+        grouped = GroupedSummation(params, 2)
+        with pytest.raises(IndexError):
+            grouped.add_sorted_runs(
+                np.array([0, 5], dtype=np.int64), np.array([1.0, 2.0])
+            )
+        with pytest.raises(ValueError):
+            grouped.add_sorted_runs(
+                np.array([0], dtype=np.int64), np.array([1.0, 2.0])
+            )
+
+    def test_object_keys_without_storage_encoding(self):
+        # A Batch built directly (no table scan) has no dictionary
+        # encodings: the object-key fast path must still agree with the
+        # scalar key table.
+        from repro.engine import VectorizedGroupTable
+        from repro.engine.operators import Batch, PartialGroupTable
+
+        rng = np.random.default_rng(3)
+        labels = np.array(["p", "q", "r"], dtype=object)[
+            rng.integers(0, 3, 120)
+        ]
+        values = rng.normal(size=120)
+        batch = Batch({"s": labels, "v": values}, {})
+        config = SumConfig("repro")
+        specs = [AggregateSpec(parse_expression("SUM(v)"), config)]
+        group_exprs = (parse_expression("s"),)
+        vector_table = VectorizedGroupTable(group_exprs, specs)
+        vector_table.update(batch)
+        scalar_table = PartialGroupTable(group_exprs, specs)
+        scalar_table.update(batch)
+        vector_keys, vector_results, n_vector = vector_table.finalize()
+        scalar_keys, scalar_results, n_scalar = scalar_table.finalize()
+        assert n_vector == n_scalar
+        assert vector_keys[0].tolist() == scalar_keys[0].tolist()
+        assert vector_results[0].tobytes() == scalar_results[0].tobytes()
+
+    def test_expr_cache_matches_evaluate(self):
+        from repro.engine.expr import evaluate
+
+        columns = {
+            "a": np.array([1.0, 2.0, 3.0]),
+            "b": np.array([10.0, 20.0, 30.0]),
+        }
+        cache = ExprCache(columns, {})
+        for text in ("a + b", "a * (1 - b)", "a * (1 - b) * (1 + a)",
+                     "ABS(-a)", "a BETWEEN 1 AND 2", "NOT (a > b)",
+                     "a + b", "b / a"):
+            expr = parse_expression(text)
+            expected = evaluate(expr, columns, {})
+            got = cache.eval(expr)
+            np.testing.assert_array_equal(np.asarray(got),
+                                          np.asarray(expected))
+        # Shared sub-expressions are computed once and reused.
+        first = cache.eval(parse_expression("a * (1 - b)"))
+        second = cache.eval(parse_expression("(a * (1 - b)) + 0"))
+        assert first is cache.eval(parse_expression("a * (1 - b)"))
+        assert second is not None

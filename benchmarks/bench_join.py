@@ -1,0 +1,158 @@
+"""Hash-join benchmarks: probe kernel throughput and TPC-H Q3.
+
+Two series, both landing in ``BENCH_pr.json`` for the CI
+bench-regression gate:
+
+* **probe micro-kernel** — :class:`repro.engine.join.HashJoin.probe`
+  (dictionary-encoded keys, ``searchsorted`` match, ``repeat``/gather
+  expansion) against a pure-Python dict probe of the same build table.
+  The vectorized kernel must beat the Python loop by the recorded
+  speedup floor — joins are on the hot path of every multi-table
+  query, so a regression here is a regression everywhere;
+* **Q3 end-to-end** — the planner-driven customer x orders x lineitem
+  pipeline in repro mode (ns per lineitem row), measured at both
+  forced build sides.  The two sides must return **bit-identical**
+  results: the planner's build-side choice is a pure performance
+  decision, which is exactly what reproducible aggregation buys.
+"""
+
+import time
+
+import numpy as np
+
+from _common import emit, ns_per_element, record_kernel, record_speedup, table
+from repro.engine import Database
+from repro.engine.join import HashJoin
+from repro.engine.operators import Batch
+from repro.engine.sql import parse_expression
+from repro.tpch import load_tpch, run_q3
+
+SCALE = 0.01        # ~60k lineitem rows, ~15k orders, ~1.5k customers
+MORSEL_SIZE = 4096
+ROWS = int(SCALE * 6_000_000)
+REPS = 5
+
+BUILD_ROWS = 20_000
+PROBE_ROWS = 1 << 18
+
+#: Acceptance floor: the vectorized probe vs. a Python dict probe.
+PROBE_SPEEDUP_FLOOR = 2.0
+
+
+def _result_bits(result):
+    out = []
+    for arr in result.arrays:
+        arr = np.asarray(arr)
+        if arr.dtype.kind == "O":
+            out.append(repr(arr.tolist()).encode())
+        else:
+            out.append(arr.tobytes())
+    return tuple(out)
+
+
+def measure_best(fn, reps=REPS):
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def probe_kernel_series():
+    rng = np.random.default_rng(7)
+    build_keys = np.arange(BUILD_ROWS, dtype=np.int64)
+    build = Batch(
+        {"k": build_keys, "w": rng.uniform(size=BUILD_ROWS)}, {}
+    )
+    probe = Batch(
+        {
+            "k": rng.integers(0, BUILD_ROWS * 2, size=PROBE_ROWS),
+            "v": rng.uniform(size=PROBE_ROWS),
+        },
+        {},
+    )
+    join = HashJoin(
+        build, (parse_expression("k"),), (parse_expression("k"),)
+    )
+    join.probe(probe)  # warm-up
+    vector_seconds, joined = measure_best(lambda: join.probe(probe))
+
+    # Python-dict baseline probe producing the same pairing.
+    lookup = {int(key): i for i, key in enumerate(build_keys)}
+
+    def python_probe():
+        probe_idx, build_idx = [], []
+        for i, key in enumerate(probe.columns["k"].tolist()):
+            hit = lookup.get(key)
+            if hit is not None:
+                probe_idx.append(i)
+                build_idx.append(hit)
+        return (
+            {name: arr[probe_idx] for name, arr in probe.columns.items()}
+            | {"w": build.columns["w"][build_idx]}
+        )
+
+    python_seconds, python_joined = measure_best(python_probe, reps=2)
+    assert joined.nrows == len(python_joined["v"])
+    return vector_seconds, python_seconds
+
+
+def measure_q3(build_side: str):
+    db = Database(
+        sum_mode="repro", workers=1, morsel_size=MORSEL_SIZE,
+        join_build=build_side,
+    )
+    load_tpch(db, scale_factor=SCALE)
+    run_q3(db)  # warm-up (key dictionaries, pools)
+    best, result = measure_best(lambda: run_q3(db))
+    return best, _result_bits(result)
+
+
+def test_join_report():
+    vector_seconds, python_seconds = probe_kernel_series()
+    probe_speedup = python_seconds / vector_seconds
+    record_kernel(
+        "join_probe", ns_per_element(vector_seconds, PROBE_ROWS)
+    )
+    record_speedup("join_probe_vectorized", probe_speedup)
+
+    left_seconds, left_bits = measure_q3("left")
+    right_seconds, right_bits = measure_q3("right")
+    record_kernel("q3_repro_build_left", ns_per_element(left_seconds, ROWS))
+    record_kernel("q3_repro_build_right", ns_per_element(right_seconds, ROWS))
+
+    emit(
+        "join_pipeline",
+        table(
+            ["series", "seconds", "ns/row"],
+            [
+                ["probe kernel (vectorized)", round(vector_seconds, 4),
+                 round(ns_per_element(vector_seconds, PROBE_ROWS), 1)],
+                ["probe kernel (python dict)", round(python_seconds, 4),
+                 round(ns_per_element(python_seconds, PROBE_ROWS), 1)],
+                ["Q3 repro, build=left", round(left_seconds, 4),
+                 round(ns_per_element(left_seconds, ROWS), 1)],
+                ["Q3 repro, build=right", round(right_seconds, 4),
+                 round(ns_per_element(right_seconds, ROWS), 1)],
+            ],
+            title=(
+                f"hash join: {BUILD_ROWS} build x {PROBE_ROWS} probe rows; "
+                f"TPC-H Q3 at SF={SCALE}, workers=1"
+            ),
+        ),
+        "Q3 runs customer |x| orders |x| lineitem through the planner\n"
+        "(predicate pushdown into the scans, projection at the scans,\n"
+        "build sides forced per run).  Repro-mode result bits must be\n"
+        "identical for both build sides — plan choice is a pure\n"
+        "performance decision under exact-merge aggregation.",
+    )
+
+    assert left_bits == right_bits, (
+        "repro Q3 bits differ between join build sides"
+    )
+    assert probe_speedup >= PROBE_SPEEDUP_FLOOR, (
+        f"vectorized probe speedup {probe_speedup:.2f}x below the "
+        f"{PROBE_SPEEDUP_FLOOR}x floor"
+    )

@@ -2,19 +2,24 @@
 """Canonical-query reproducibility digest for the CI matrix.
 
 Runs a fixed query set under the repro sum modes across every
-``(workers, morsel_size, vectorized)`` combination, asserts the result
-bits are identical *within* this process, and writes one digest line
-per (query, mode) to ``--out`` (default ``repro_digest.txt``).
+``(workers, morsel_size, vectorized)`` combination — and, for the join
+queries, every hash-join build side — asserts the result bits are
+identical *within* this process, and writes one digest line per
+(query, mode) to ``--out`` (default ``repro_digest.txt``).
 
 The digest deliberately excludes the execution knobs: a leg running
 ``--workers 1,2`` and a leg running ``--workers 4,8`` — or a different
 OS / Python — must produce byte-identical files.  The CI compare job
 downloads every leg's digest and fails if any two differ, which is the
-paper's reproducibility claim turned into a cross-platform gate.
+paper's reproducibility claim turned into a cross-platform gate.  The
+join legs (TPC-H Q3 and an adversarial NaN/-0.0-key join) extend that
+gate to the planner: plan choice, probe order, and build side must be
+invisible in repro-mode bits.
 
 Worker counts can also come from the ``REPRO_DIGEST_WORKERS`` env var
 (comma-separated), so matrix legs vary them without changing the
-command line.
+command line; ``REPRO_DIGEST_BUILD_SIDES`` does the same for the join
+build sides (default ``auto,left,right``).
 """
 
 import argparse
@@ -25,7 +30,7 @@ import sys
 import numpy as np
 
 from repro.engine import Database
-from repro.tpch import Q1_SQL, Q6_SQL, load_lineitem
+from repro.tpch import Q1_SQL, Q3_SQL, Q6_SQL, load_tpch
 
 MODES = ("repro", "repro_buffered", "sorted")
 MORSEL_SIZES = (1 << 16, 4096, 257)
@@ -37,6 +42,11 @@ MIXED_QUERY = (
     "FROM obs GROUP BY k, s ORDER BY k, s"
 )
 EDGE_QUERY = "SELECT k, SUM(v) AS sv, COUNT(*) AS c FROM edge GROUP BY k ORDER BY k"
+JOIN_EDGE_QUERY = (
+    "SELECT jl.k AS k, SUM(v) AS sv, SUM(w) AS sw, "
+    "COUNT(DISTINCT v) AS dv, COUNT(*) AS c "
+    "FROM jl, jr WHERE jl.k = jr.k GROUP BY jl.k ORDER BY k"
+)
 
 
 def _mixed_data():
@@ -64,7 +74,7 @@ def _edge_data():
 
 def _load(db, which):
     if which == "tpch":
-        load_lineitem(db, scale_factor=TPCH_SCALE)
+        load_tpch(db, scale_factor=TPCH_SCALE)
         return
     if which == "mixed":
         keys, labels, values = _mixed_data()
@@ -77,16 +87,42 @@ def _load(db, which):
             }
         )
         return
+    if which == "join_edge":
+        rng = np.random.default_rng(20180417)
+        n = 3000
+        left_keys = rng.integers(0, 40, size=n).astype(np.float64)
+        left_keys[::97] = np.nan
+        left_keys[1::89] = -0.0
+        left_keys[2::83] = np.inf
+        right_keys = np.concatenate(
+            (np.arange(40, dtype=np.float64), [np.nan, 0.0, np.inf])
+        )
+        left_values = rng.choice([-1.0, 1.0], size=n) * np.exp2(
+            rng.uniform(-30, 30, size=n)
+        )
+        db.execute("CREATE TABLE jl (k DOUBLE, v DOUBLE)")
+        db.execute("CREATE TABLE jr (k DOUBLE, w DOUBLE)")
+        db.table("jl").bulk_load({"k": left_keys.tolist(), "v": left_values.tolist()})
+        db.table("jr").bulk_load(
+            {
+                "k": right_keys.tolist(),
+                "w": rng.uniform(0.0, 1.0, size=len(right_keys)).tolist(),
+            }
+        )
+        return
     keys, values = _edge_data()
     db.execute("CREATE TABLE edge (k DOUBLE, v DOUBLE)")
     db.table("edge").bulk_load({"k": keys.tolist(), "v": values.tolist()})
 
 
+#: (query_id, data source, SQL, sweeps join build sides?)
 QUERIES = (
-    ("tpch_q1", "tpch", Q1_SQL),
-    ("tpch_q6", "tpch", Q6_SQL),
-    ("mixed_aggs", "mixed", MIXED_QUERY),
-    ("edge_keys", "edge", EDGE_QUERY),
+    ("tpch_q1", "tpch", Q1_SQL, False),
+    ("tpch_q6", "tpch", Q6_SQL, False),
+    ("tpch_q3", "tpch", Q3_SQL, True),
+    ("mixed_aggs", "mixed", MIXED_QUERY, False),
+    ("edge_keys", "edge", EDGE_QUERY, False),
+    ("join_edge_keys", "join_edge", JOIN_EDGE_QUERY, True),
 )
 
 
@@ -105,33 +141,41 @@ def canonical_bytes(result):
     return b"\x1e".join(pieces)
 
 
-def digest_lines(workers):
+def digest_lines(workers, build_sides):
     lines = []
-    for query_id, source, sql in QUERIES:
+    for query_id, source, sql, sweeps_builds in QUERIES:
+        sides = build_sides if sweeps_builds else ("auto",)
         for mode in MODES:
             reference = None
             reference_config = None
             for worker_count in workers:
                 for morsel_size in MORSEL_SIZES:
                     for vectorized in (True, False):
-                        db = Database(
-                            sum_mode=mode,
-                            workers=worker_count,
-                            morsel_size=morsel_size,
-                            vectorized=vectorized,
-                        )
-                        _load(db, source)
-                        payload = canonical_bytes(db.execute(sql))
-                        config = (worker_count, morsel_size, vectorized)
-                        if reference is None:
-                            reference = payload
-                            reference_config = config
-                        elif payload != reference:
-                            raise SystemExit(
-                                f"NON-REPRODUCIBLE: {query_id} [{mode}] "
-                                f"at {config} differs from "
-                                f"{reference_config}"
+                        for build_side in sides:
+                            db = Database(
+                                sum_mode=mode,
+                                workers=worker_count,
+                                morsel_size=morsel_size,
+                                vectorized=vectorized,
+                                join_build=build_side,
                             )
+                            _load(db, source)
+                            payload = canonical_bytes(db.execute(sql))
+                            config = (
+                                worker_count,
+                                morsel_size,
+                                vectorized,
+                                build_side,
+                            )
+                            if reference is None:
+                                reference = payload
+                                reference_config = config
+                            elif payload != reference:
+                                raise SystemExit(
+                                    f"NON-REPRODUCIBLE: {query_id} "
+                                    f"[{mode}] at {config} differs from "
+                                    f"{reference_config}"
+                                )
             digest = hashlib.sha256(reference).hexdigest()
             lines.append(f"{query_id} {mode} {digest}")
     return lines
@@ -144,18 +188,31 @@ def main():
         default=os.environ.get("REPRO_DIGEST_WORKERS", "1,2,4"),
         help="comma-separated worker counts to sweep (default 1,2,4)",
     )
+    parser.add_argument(
+        "--build-sides",
+        default=os.environ.get("REPRO_DIGEST_BUILD_SIDES", "auto,left,right"),
+        help="comma-separated hash-join build sides for the join legs",
+    )
     parser.add_argument("--out", default="repro_digest.txt")
     args = parser.parse_args()
     workers = [int(part) for part in args.workers.split(",") if part.strip()]
     if not workers:
         raise SystemExit("no worker counts given")
+    build_sides = tuple(
+        part.strip() for part in args.build_sides.split(",") if part.strip()
+    )
+    if not build_sides:
+        raise SystemExit("no build sides given")
 
-    lines = digest_lines(workers)
+    lines = digest_lines(workers, build_sides)
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write("\n".join(lines) + "\n")
     for line in lines:
         print(line)
-    print(f"\nwrote {args.out} (workers swept: {workers})")
+    print(
+        f"\nwrote {args.out} (workers swept: {workers}, "
+        f"build sides swept: {list(build_sides)})"
+    )
     return 0
 
 

@@ -1,17 +1,22 @@
 """Mini column-store SQL engine (the paper's system-integration substrate).
 
-A deliberately small but real engine: SQL front end, columnar storage
-with MonetDB-style delete+append updates, a morsel-driven parallel
-pipeline with partial-aggregate/exact-merge GROUP BY, and a SUM
-implementation selectable per session (``ieee`` / ``repro`` /
-``repro_buffered`` / ``sorted``) plus the explicit ``RSUM(expr, L)``
-aggregate the paper proposes in Section V-D.  In the repro modes the
-result bits are invariant under the ``workers`` and ``morsel_size``
-execution knobs; in IEEE mode they may drift.
+A deliberately small but real engine: SQL front end, a binder +
+logical-plan IR (:mod:`repro.engine.plan`), a rule-based optimizer
+(:mod:`repro.engine.optimizer`), a physical planner with per-node
+operator choice (:mod:`repro.engine.physical`, inspectable via
+``EXPLAIN``), columnar storage with MonetDB-style delete+append
+updates, a bit-reproducible hash equi-join (:mod:`repro.engine.join`),
+a morsel-driven parallel pipeline with partial-aggregate/exact-merge
+GROUP BY, and a SUM implementation selectable per session (``ieee`` /
+``repro`` / ``repro_buffered`` / ``sorted``) plus the explicit
+``RSUM(expr, L)`` aggregate the paper proposes in Section V-D.  In the
+repro modes the result bits are invariant under the ``workers``,
+``morsel_size`` and ``join_build`` execution knobs; in IEEE mode they
+may drift.
 """
 
 from .catalog import Catalog
-from .executor import QueryResult, execute_select
+from .executor import QueryResult, execute_select, explain_select
 from .expr import (
     ExprCache,
     ExprError,
@@ -35,6 +40,10 @@ from .pipeline import (
     run_grouped_pipeline,
     run_projection_pipeline,
 )
+from .join import HashJoin
+from .optimizer import optimize
+from .physical import PhysicalQuery, plan_physical, render_physical
+from .plan import BindError, bind_select, render_plan
 from .session import Database
 from .sql import SqlLexError, SqlParseError, parse, parse_expression, tokenize
 from .vectorized import (
@@ -78,6 +87,15 @@ __all__ = [
     "Column",
     "QueryResult",
     "execute_select",
+    "explain_select",
+    "bind_select",
+    "optimize",
+    "plan_physical",
+    "render_plan",
+    "render_physical",
+    "PhysicalQuery",
+    "BindError",
+    "HashJoin",
     "Batch",
     "GroupByOp",
     "SumConfig",

@@ -1,10 +1,20 @@
-"""Query executor: binds a SELECT AST to the catalog and runs it.
+"""Query executor: drives a SELECT through the planner stack.
 
-Execution is delegated to the morsel-driven pipeline
-(:mod:`repro.engine.pipeline`): the table is scanned as columnar
-morsels, filtered and projected/aggregated per worker, and worker
-partials are merged exactly.  This module keeps the query-shape logic:
-output naming, HAVING, ORDER BY, LIMIT, and result typing.
+Execution is now planner-driven::
+
+    SQL AST --bind--> logical plan --optimize--> logical plan
+            --plan_physical--> physical query --run--> QueryResult
+
+The binder (:mod:`repro.engine.plan`) resolves columns and types
+against the catalog, the optimizer (:mod:`repro.engine.optimizer`)
+rewrites the tree (constant folding, predicate/projection pushdown,
+join-key extraction, build-side choice), and the physical planner
+(:mod:`repro.engine.physical`) picks concrete operators per node.
+This module only *runs* physical queries: it materializes scan
+morsels, builds hash-join tables for the pipeline-breaker sides,
+streams probe morsels through the per-worker operator chains of
+:mod:`repro.engine.pipeline`, and applies the finishing stages
+(HAVING, output projection, ORDER BY, LIMIT) on the gathered arrays.
 """
 
 from __future__ import annotations
@@ -13,19 +23,30 @@ import time
 
 import numpy as np
 
-from .expr import ExprError, evaluate, expression_columns, find_aggregates
-from .operators import Batch, GroupByOp, OperatorTimings, SumConfig
+from .expr import ExprError, evaluate
+from .join import HashJoin
+from .operators import Batch, OperatorTimings, SumConfig
+from .optimizer import optimize
+from .physical import (
+    PhysFilter,
+    PhysicalQuery,
+    PhysPipeline,
+    PhysProbe,
+    PhysScan,
+    plan_physical,
+    render_physical,
+)
 from .pipeline import (
     ExecutionContext,
+    apply_where,
     run_grouped_pipeline,
     run_projection_pipeline,
 )
+from .plan import bind_select, render_plan
 from .sql import ast
-from .table import Table
 from .types import SqlType
-from .vectorized import plan_supports_vectorized
 
-__all__ = ["QueryResult", "execute_select"]
+__all__ = ["QueryResult", "execute_select", "explain_select"]
 
 
 class QueryResult:
@@ -71,6 +92,30 @@ def _to_python(value):
     return value
 
 
+# ---------------------------------------------------------------------------
+# Planning entry points
+# ---------------------------------------------------------------------------
+
+
+def _plan(stmt: ast.Select, get_table, sum_config: SumConfig,
+          context: ExecutionContext):
+    logical = optimize(bind_select(stmt, get_table))
+    physical = plan_physical(logical, context, sum_config)
+    return logical, physical
+
+
+def explain_select(stmt: ast.Select, get_table, sum_config: SumConfig,
+                   context: ExecutionContext) -> str:
+    """EXPLAIN text: optimized logical plan + chosen physical plan."""
+    logical, physical = _plan(stmt, get_table, sum_config, context)
+    return (
+        "== optimized logical plan ==\n"
+        + render_plan(logical)
+        + "\n\n== physical plan ==\n"
+        + render_physical(physical)
+    )
+
+
 def execute_select(
     stmt: ast.Select,
     get_table,
@@ -79,104 +124,180 @@ def execute_select(
     context: ExecutionContext | None = None,
 ) -> QueryResult:
     """Run a SELECT against the catalog accessor ``get_table``."""
-
     if context is None:
         context = ExecutionContext()
+    _, physical = _plan(stmt, get_table, sum_config, context)
+    return _run_physical(physical, context, timings)
 
-    # --- plan shape: find the aggregates first (drives the scan) -----------
-    aggregates: list[ast.FuncCall] = []
-    for item in stmt.items:
-        aggregates.extend(find_aggregates(item.expr))
-    if stmt.having is not None:
-        aggregates.extend(find_aggregates(stmt.having))
-    grouped = bool(stmt.group_by) or bool(aggregates)
 
-    # --- scan: materialise the morsel list (column views) -----------------
-    started = time.perf_counter()
-    if stmt.table is not None:
-        table: Table = get_table(stmt.table)
-        types = {name: table.schema.type_of(name) for name in table.schema.names()}
-        columns = None
-        encodings: dict = {}
-        if grouped and context.vectorized and plan_supports_vectorized(
-            stmt.group_by, aggregates, stmt.where
-        ):
-            # Vectorized GROUP BY: scan only the referenced columns and
-            # hand the key columns over dictionary-encoded.
-            needed: set[str] = set()
-            for expr in stmt.group_by:
-                needed |= expression_columns(expr)
-            for call in aggregates:
-                needed |= expression_columns(call)
-            if stmt.where is not None:
-                needed |= expression_columns(stmt.where)
-            columns = [name for name in table.schema.names() if name in needed]
-            encodings = table.key_encodings(
-                [expr.name for expr in stmt.group_by
-                 if isinstance(expr, ast.ColumnRef)]
-            )
-        morsels = []
-        offset = 0
-        for chunk in table.morsels(context.morsel_size, columns):
-            nrows = len(next(iter(chunk.values()))) if chunk else 0
-            chunk_encodings = {
-                name: (codes[offset:offset + nrows], uniques)
-                for name, (codes, uniques) in encodings.items()
-            } or None
-            morsels.append(Batch(chunk, types, chunk_encodings))
-            offset += nrows
-    else:
-        types = {}
+# ---------------------------------------------------------------------------
+# Pipeline instantiation (scans + join builds)
+# ---------------------------------------------------------------------------
+
+
+def _scan_morsels(scan: PhysScan, morsel_size: int) -> list[Batch]:
+    """Materialize one scan's morsel list (column views, renamed to the
+    binder's resolved keys, with dictionary encodings riding along)."""
+    if scan.table is None:
         batch = Batch({}, {})
         batch.nrows = 1  # SELECT 1 + 1
-        morsels = [batch]
+        return [batch]
+    source_columns = list(scan.column_map.values())
+    encodings = scan.table.key_encodings(
+        [scan.column_map[key] for key in scan.encode_keys]
+    )
+    reverse = {source: key for key, source in scan.column_map.items()}
+    morsels = []
+    offset = 0
+    for chunk in scan.table.morsels(morsel_size, source_columns):
+        nrows = len(next(iter(chunk.values()))) if chunk else 0
+        renamed = {
+            reverse.get(name, name): arr for name, arr in chunk.items()
+        }
+        chunk_encodings = {
+            reverse.get(name, name): (codes[offset:offset + nrows], uniques)
+            for name, (codes, uniques) in encodings.items()
+        } or None
+        morsels.append(Batch(renamed, scan.types, chunk_encodings))
+        offset += nrows
+    return morsels
+
+
+def _concat_batches(batches: list[Batch]) -> Batch:
+    """One build-side Batch from a materialized pipeline's morsels."""
+    kept = [b for b in batches if b.nrows]
+    batches = kept or batches[:1]
+    if len(batches) == 1:
+        return batches[0]
+    names = list(batches[0].columns)
+    columns = {
+        name: np.concatenate([b.columns[name] for b in batches])
+        for name in names
+    }
+    encodings = None
+    shared = batches[0].encodings
+    if shared and all(
+        set(b.encodings) == set(shared)
+        and all(b.encodings[n][1] is shared[n][1] for n in shared)
+        for b in batches[1:]
+    ):
+        # Same dictionary object in every piece: codes concatenate.
+        encodings = {
+            name: (
+                np.concatenate([b.encodings[name][0] for b in batches]),
+                uniques,
+            )
+            for name, (_, uniques) in shared.items()
+        }
+    return Batch(columns, batches[0].types, encodings)
+
+
+def _instantiate(chain: PhysPipeline, context: ExecutionContext,
+                 timings: OperatorTimings | None):
+    """Materialize scan morsels and build every hash join in the chain.
+
+    Returns ``(morsels, transform)`` where ``transform`` applies the
+    chain's filters and probes to one morsel.
+    """
+    started = time.perf_counter()
+    morsels = _scan_morsels(chain.source, context.morsel_size)
     if timings is not None:
         timings.add("scan", time.perf_counter() - started)
 
-    if grouped:
-        names, arrays = _execute_grouped(
-            stmt, morsels, types, aggregates, sum_config, context, timings
-        )
+    steps = []
+    for op in chain.ops:
+        if isinstance(op, PhysFilter):
+            predicate = op.predicate
+            steps.append(
+                lambda batch, p=predicate: apply_where(batch, p)
+            )
+        elif isinstance(op, PhysProbe):
+            join = _build_join(op, context, timings)
+            steps.append(join.probe)
+        else:  # pragma: no cover - planner emits only the two op kinds
+            raise TypeError(f"unknown pipeline op {op!r}")
+    if not steps:
+        return morsels, None
+
+    def transform(batch: Batch) -> Batch:
+        for step in steps:
+            batch = step(batch)
+        return batch
+
+    return morsels, transform
+
+
+def _build_join(op: PhysProbe, context: ExecutionContext,
+                timings: OperatorTimings | None) -> HashJoin:
+    """Materialize the build side (a pipeline breaker) serially and
+    construct the hash table."""
+    build_morsels, build_transform = _instantiate(
+        op.build, context, timings
+    )
+    started = time.perf_counter()
+    built = []
+    for batch in build_morsels:
+        if build_transform is not None:
+            batch = build_transform(batch)
+        built.append(batch)
+    join = HashJoin(
+        _concat_batches(built), op.build_keys, op.probe_keys,
+        op.kind, op.probe_is_left,
+    )
+    if timings is not None:
+        timings.add("join_build", time.perf_counter() - started)
+    return join
+
+
+# ---------------------------------------------------------------------------
+# Physical-query driver
+# ---------------------------------------------------------------------------
+
+
+def _run_physical(query: PhysicalQuery, context: ExecutionContext,
+                  timings: OperatorTimings | None) -> QueryResult:
+    morsels, transform = _instantiate(query.pipeline, context, timings)
+
+    if query.aggregate is not None:
+        names, arrays = _run_grouped(query, morsels, transform, context,
+                                     timings)
     else:
         names, arrays = run_projection_pipeline(
-            stmt.items, morsels, stmt.where, context, timings
+            query.items, morsels, None, context, timings,
+            transform=transform,
         )
 
     out_types: list[SqlType | None] = [None] * len(names)
-    if stmt.table is not None and not grouped:
-        # Pass through source types for plain column projections.
-        for i, item in enumerate(stmt.items):
-            if isinstance(item.expr, ast.ColumnRef):
-                out_types[i] = types.get(item.expr.name.lower())
-    if grouped and stmt.group_by:
-        for i, item in enumerate(stmt.items):
-            if isinstance(item.expr, ast.ColumnRef):
-                out_types[i] = types.get(item.expr.name.lower())
+    for i, item in enumerate(query.items):
+        if isinstance(item.expr, ast.ColumnRef):
+            out_types[i] = query.column_types.get(item.expr.name)
 
-    # --- order by -------------------------------------------------------------
-    if stmt.order_by and arrays and len(arrays[0]):
+    # --- order by ---------------------------------------------------------
+    if query.order_by and arrays and len(arrays[0]):
         env = {name: arr for name, arr in zip(names, arrays)}
         sort_keys = []
-        for order_item in reversed(stmt.order_by):
-            sort_keys.append(_order_key(order_item, stmt, env))
-        order = np.lexsort(sort_keys) if sort_keys else np.arange(len(arrays[0]))
+        for order_item in reversed(query.order_by):
+            sort_keys.append(_order_key(order_item, query.items, env))
+        order = np.lexsort(sort_keys) if sort_keys else np.arange(
+            len(arrays[0])
+        )
         arrays = [arr[order] for arr in arrays]
 
-    # --- limit ---------------------------------------------------------------
-    if stmt.limit is not None:
-        arrays = [arr[: stmt.limit] for arr in arrays]
+    # --- limit ------------------------------------------------------------
+    if query.limit is not None:
+        arrays = [arr[: query.limit] for arr in arrays]
 
     return QueryResult(names, arrays, out_types)
 
 
-def _order_key(order_item: ast.OrderItem, stmt: ast.Select, env: dict):
+def _order_key(order_item: ast.OrderItem, items, env: dict):
     expr = order_item.expr
     arr = None
     if isinstance(expr, ast.ColumnRef) and expr.name in env:
         arr = env[expr.name]
     else:
         wanted = expr.sql()
-        for item, name in zip(stmt.items, env.keys()):
+        for item, name in zip(items, env.keys()):
             if item.expr.sql() == wanted:
                 arr = env[name]
                 break
@@ -198,23 +319,25 @@ def _order_key(order_item: ast.OrderItem, stmt: ast.Select, env: dict):
     return arr
 
 
-def _execute_grouped(stmt: ast.Select, morsels: list[Batch], types,
-                     aggregates, sum_config: SumConfig,
-                     context: ExecutionContext, timings):
-    group_op = GroupByOp(stmt.group_by, aggregates, sum_config, timings)
-    specs = group_op.specs()
+def _run_grouped(query: PhysicalQuery, morsels: list[Batch], transform,
+                 context: ExecutionContext,
+                 timings: OperatorTimings | None):
+    aggregate = query.aggregate
+    specs = aggregate.specs
     key_arrays, results, ngroups = run_grouped_pipeline(
-        stmt.group_by, specs, morsels, stmt.where, context, timings
+        aggregate.group_exprs, specs, morsels, None, context, timings,
+        transform=transform, vectorized=aggregate.vectorized,
     )
     agg_env = {spec.sql: arr for spec, arr in zip(specs, results)}
 
     # Environment for select items / HAVING: group-key expressions by
     # their SQL text, aggregates via agg_env.
     key_env: dict[str, np.ndarray] = {}
-    for expr, arr in zip(stmt.group_by, key_arrays):
+    types = query.column_types
+    for expr, arr in zip(aggregate.group_exprs, key_arrays):
         key_env[expr.sql()] = arr
         if isinstance(expr, ast.ColumnRef):
-            key_env[expr.name.lower()] = arr
+            key_env[expr.name] = arr
 
     def eval_output(expr: ast.Expr) -> np.ndarray:
         text = expr.sql()
@@ -222,8 +345,8 @@ def _execute_grouped(stmt: ast.Select, morsels: list[Batch], types,
             return agg_env[text]
         if text in key_env:
             return key_env[text]
-        if isinstance(expr, ast.ColumnRef) and expr.name.lower() in key_env:
-            return key_env[expr.name.lower()]
+        if isinstance(expr, ast.ColumnRef) and expr.name in key_env:
+            return key_env[expr.name]
         # Expression over aggregates and/or group keys.
         env = dict(key_env)
         value = evaluate(expr, env, types, agg_env)
@@ -234,11 +357,11 @@ def _execute_grouped(stmt: ast.Select, morsels: list[Batch], types,
 
     # HAVING filter.
     keep = None
-    if stmt.having is not None:
-        keep = np.asarray(eval_output(stmt.having)).astype(bool)
+    if query.having is not None:
+        keep = np.asarray(eval_output(query.having)).astype(bool)
 
     names, arrays = [], []
-    for i, item in enumerate(stmt.items):
+    for i, item in enumerate(query.items):
         if isinstance(item.expr, ast.Star):
             raise ExprError("'*' in grouped SELECT is only valid in COUNT(*)")
         arr = eval_output(item.expr)

@@ -77,6 +77,10 @@ def evaluate(
             raise ExprError(
                 f"aggregate {expr.name} outside GROUP BY context: {expr.sql()}"
             )
+        if expr.distinct:
+            raise ExprError(
+                f"DISTINCT is not valid in a scalar call: {expr.sql()}"
+            )
         func = SCALAR_FUNCTIONS.get(expr.name)
         if func is not None:
             return func(evaluate(expr.args[0], batch, types, agg_env))

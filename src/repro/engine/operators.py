@@ -47,6 +47,8 @@ __all__ = [
     "OperatorTimings",
     "AggregateSpec",
     "PartialGroupTable",
+    "canonical_float_bits",
+    "factorize_object",
     "grouped_float_sum",
 ]
 
@@ -331,6 +333,86 @@ class _SumState:
         return self.impl.finalize(ngroups)
 
 
+def canonical_float_bits(values: np.ndarray) -> np.ndarray:
+    """Float array -> uint64 bit patterns under the engine's canonical
+    float identity: ``-0.0`` folds into ``0.0``, every NaN payload
+    collapses to the canonical NaN, float32 promotes exactly.  This is
+    the one definition of float-key equality shared by GROUP BY keys
+    (:func:`_key_identity`), COUNT(DISTINCT), and the hash join."""
+    out = values.astype(np.float64)
+    if out is values:
+        out = out.copy()
+    out[out == 0.0] = 0.0
+    out[np.isnan(out)] = np.nan
+    return out.view(np.uint64)
+
+
+def _canonical_distinct_codes(values: np.ndarray):
+    """Dictionary-encode one morsel's values for DISTINCT counting.
+
+    Returns ``(codes, members)``: ``codes[i]`` indexes ``members``, a
+    list of hashable canonical representatives — canonical float bit
+    patterns (:func:`canonical_float_bits`), plain Python values
+    otherwise.
+    """
+    if values.dtype.kind == "f":
+        bits = canonical_float_bits(values)
+        uniques, codes = np.unique(bits, return_inverse=True)
+        return codes.astype(np.int64, copy=False), uniques.tolist()
+    if values.dtype == object:
+        codes, uniques = factorize_object(values)
+        return codes, uniques.tolist()
+    uniques, codes = np.unique(values, return_inverse=True)
+    return codes.astype(np.int64, copy=False), uniques.tolist()
+
+
+class _DistinctCountState:
+    """COUNT(DISTINCT expr): per-group sets of canonical values.
+
+    The partial state is a plain set per group, so update and merge are
+    *exact* for any morsel split, worker count, or join build side —
+    the same horizontal-merge property the repro SUM states have, which
+    is what keeps COUNT(DISTINCT) in the bit-reproducible family.
+    Each morsel is dictionary-encoded once (codes + uniques) and the
+    (gid, code) pairs deduplicated vectorized before the sets are
+    touched.
+    """
+
+    def __init__(self, arg: ast.Expr):
+        self.arg = arg
+        self.sets: list[set] = []
+
+    def _grow(self, ngroups: int) -> None:
+        while len(self.sets) < ngroups:
+            self.sets.append(set())
+
+    def update(self, batch: Batch, gids: np.ndarray, ngroups: int) -> None:
+        self._grow(ngroups)
+        if not gids.size:
+            return
+        values = _eval_values(self.arg, batch)
+        codes, members = _canonical_distinct_codes(values)
+        base = max(len(members), 1)
+        pairs = np.unique(gids.astype(np.int64) * base + codes)
+        for pair in pairs.tolist():
+            gid, code = divmod(pair, base)
+            self.sets[gid].add(members[code])
+
+    def merge(self, other: "_DistinctCountState", mapping,
+              ngroups: int) -> None:
+        self._grow(ngroups)
+        for gid, members in enumerate(other.sets):
+            if members:
+                self.sets[mapping[gid]] |= members
+
+    def finalize(self, ngroups: int) -> np.ndarray:
+        self._grow(ngroups)
+        return np.array(
+            [len(members) for members in self.sets[:ngroups]],
+            dtype=np.int64,
+        )
+
+
 class _MinMaxState:
     def __init__(self, arg: ast.Expr, is_min: bool):
         self.arg = arg
@@ -449,6 +531,33 @@ _VAR_NAMES = ("VARIANCE", "VAR_SAMP", "VAR_POP", "STDDEV", "STDDEV_SAMP",
 _NAN_KEY = object()
 
 
+def factorize_object(arr: np.ndarray):
+    """Dictionary-encode an object array in one pass (first-arrival
+    codes; far cheaper than ``np.unique``'s Python-level sort, and safe
+    for ``None`` entries from a LEFT JOIN's null-introduced columns).
+    Returns ``(codes, uniques)``."""
+    table: dict = {}
+    codes = np.empty(arr.size, dtype=np.int64)
+    for i, value in enumerate(arr.tolist()):
+        code = table.get(value)
+        if code is None:
+            code = len(table)
+            table[value] = code
+        codes[i] = code
+    uniques = np.empty(len(table), dtype=object)
+    for value, code in table.items():
+        uniques[code] = value
+    return codes, uniques
+
+
+def _object_sort_rank(col: np.ndarray) -> np.ndarray:
+    """Sorted-rank codes of an object key column, with ``None`` (a LEFT
+    JOIN's null) ordered before every real value."""
+    ordered = sorted(set(col.tolist()), key=lambda v: (v is not None, v))
+    rank = {value: j for j, value in enumerate(ordered)}
+    return np.array([rank[value] for value in col.tolist()], dtype=np.int64)
+
+
 def _key_identity(key: tuple) -> tuple:
     """Hash/equality form of a key tuple: NaN -> sentinel, -0.0 -> 0.0."""
     out = []
@@ -472,6 +581,19 @@ class AggregateSpec:
         self.sql = call.sql()
         self.sum_config = sum_config
         name = call.name
+        if call.distinct:
+            # DISTINCT is honoured for COUNT(DISTINCT expr) only; every
+            # other spelling errors out rather than silently dropping
+            # the qualifier (which would return wrong answers).
+            if (
+                name != "COUNT"
+                or len(call.args) != 1
+                or isinstance(call.args[0], ast.Star)
+            ):
+                raise NotImplementedError(
+                    "DISTINCT aggregates are only supported as "
+                    f"COUNT(DISTINCT expr); got {self.sql}"
+                )
         if name != "COUNT" and not call.args:
             raise ExprError(f"{name} requires an argument")
         if name == "RSUM":
@@ -490,6 +612,8 @@ class AggregateSpec:
         name = self.call.name
         mode = self.sum_config.mode
         if name == "COUNT":
+            if self.call.distinct:
+                return _DistinctCountState(self.call.args[0])
             return _CountState()
         arg = self.call.args[0]
         if name == "SUM":
@@ -553,7 +677,13 @@ class PartialGroupTable:
             arr = np.asarray(evaluate(expr, batch.columns, batch.types))
             if arr.shape == ():
                 arr = np.full(batch.nrows, arr)
-            uniq, inverse = np.unique(arr, return_inverse=True)
+            try:
+                uniq, inverse = np.unique(arr, return_inverse=True)
+            except TypeError:
+                # Object keys with None entries (a LEFT JOIN's
+                # null-introduced column) cannot sort; dictionary-
+                # encode instead.
+                inverse, uniq = factorize_object(arr)
             inverses.append(inverse.astype(np.int64))
             uniques.append(uniq)
         if self._key_dtypes is None:
@@ -621,7 +751,10 @@ class PartialGroupTable:
         codes = []
         for i in range(len(self.group_exprs)):
             col = self._key_column(i)
-            codes.append(np.unique(col, return_inverse=True)[1])
+            if col.dtype == object:
+                codes.append(_object_sort_rank(col))
+            else:
+                codes.append(np.unique(col, return_inverse=True)[1])
         return np.lexsort(tuple(reversed(codes)))
 
     def _key_column(self, i: int) -> np.ndarray:

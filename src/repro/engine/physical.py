@@ -1,0 +1,382 @@
+"""Physical planner: lowers a logical plan onto the morsel pipeline.
+
+The logical tree (:mod:`repro.engine.plan`, rewritten by
+:mod:`repro.engine.optimizer`) is translated into a *physical query*:
+
+* one streaming **pipeline** — a morsel source (scan) plus a chain of
+  per-morsel operators (filters and hash-join probes); pipeline
+  breakers (join build sides) become nested pipelines that are
+  materialized before the stream starts;
+* an optional **aggregate sink** with a *per-node* engine decision:
+  scalar partial tables or the vectorized columnar kernels
+  (:mod:`repro.engine.vectorized`), parallelised across
+  ``context.workers`` — replacing the old query-global
+  ``plan_supports_vectorized`` fallback in the executor;
+* the **finishing** stages executed on the gathered result arrays:
+  HAVING, output projection, ORDER BY, LIMIT.
+
+The planner never executes anything, so ``EXPLAIN`` can render the
+chosen operators (vectorized or scalar, parallel or serial, which join
+side builds) without touching the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import pipeline as pipeline_mod
+from .operators import AggregateSpec, SumConfig
+from .plan import (
+    Aggregate,
+    Dual,
+    Filter,
+    Join,
+    Limit,
+    LogicalNode,
+    Project,
+    Scan,
+    Sort,
+)
+from .sql import ast
+
+__all__ = [
+    "PhysScan",
+    "PhysFilter",
+    "PhysProbe",
+    "PhysPipeline",
+    "PhysAggregate",
+    "PhysicalQuery",
+    "plan_physical",
+    "render_physical",
+]
+
+
+@dataclass
+class PhysScan:
+    """Morsel source over one base table (or the one-row dual)."""
+
+    table: object | None  # engine Table; None = dual
+    binding: str = ""
+    #: resolved key -> source column name, in scan order
+    column_map: dict[str, str] = field(default_factory=dict)
+    #: resolved key -> SqlType for the scanned columns
+    types: dict[str, object] = field(default_factory=dict)
+    predicate: ast.Expr | None = None
+    #: resolved keys whose storage dictionary encodings ride the batch
+    encode_keys: tuple[str, ...] = ()
+    rows: int = 0
+
+    def describe(self) -> str:
+        if self.table is None:
+            return "DualScan(1 row)"
+        parts = [self.table.name]
+        if self.binding and self.binding != self.table.name:
+            parts[0] = f"{self.table.name} AS {self.binding}"
+        parts.append(f"columns=[{', '.join(self.column_map)}]")
+        if self.predicate is not None:
+            parts.append(f"filter={self.predicate.sql()}")
+        if self.encode_keys:
+            parts.append(f"dict_keys=[{', '.join(self.encode_keys)}]")
+        return f"Scan({', '.join(parts)})"
+
+
+@dataclass
+class PhysFilter:
+    predicate: ast.Expr
+    #: True when this is the pushed-down scan filter (already shown on
+    #: the Scan line; not rendered separately).
+    at_scan: bool = False
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate.sql()})"
+
+
+@dataclass
+class PhysProbe:
+    """Probe stage of one hash join; ``build`` is a nested pipeline
+    that is materialized (a pipeline breaker) before streaming."""
+
+    build: "PhysPipeline"
+    build_keys: tuple[ast.Expr, ...]
+    probe_keys: tuple[ast.Expr, ...]
+    kind: str  # 'inner' | 'left'
+    probe_is_left: bool
+    build_side: str  # which logical input builds ('left' | 'right')
+    est_build_rows: int = 0
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{p.sql()} = {b.sql()}"
+            for p, b in zip(self.probe_keys, self.build_keys)
+        )
+        return (
+            f"HashJoinProbe({self.kind}, keys=[{keys}], "
+            f"build={self.build_side}, ~{self.est_build_rows} build rows)"
+        )
+
+
+@dataclass
+class PhysPipeline:
+    """A streaming chain: source morsels -> ops (filters / probes)."""
+
+    source: PhysScan
+    ops: list = field(default_factory=list)
+
+
+@dataclass
+class PhysAggregate:
+    group_exprs: tuple[ast.Expr, ...]
+    specs: list[AggregateSpec]
+    vectorized: bool
+
+    def describe(self, workers: int, morsel_size: int) -> str:
+        engine = "vectorized" if self.vectorized else "scalar"
+        group = ", ".join(e.sql() for e in self.group_exprs)
+        aggs = ", ".join(spec.sql for spec in self.specs)
+        mode = "morsel-parallel" if workers > 1 else "serial"
+        return (
+            f"Aggregate[{engine}, {mode}, workers={workers}, "
+            f"morsel_size={morsel_size}](group=[{group}], aggs=[{aggs}])"
+        )
+
+
+@dataclass
+class PhysicalQuery:
+    """Everything the executor needs to run one SELECT."""
+
+    pipeline: PhysPipeline
+    aggregate: PhysAggregate | None
+    items: tuple[ast.SelectItem, ...]
+    group_exprs: tuple[ast.Expr, ...]
+    having: ast.Expr | None
+    order_by: tuple[ast.OrderItem, ...]
+    limit: int | None
+    #: resolved key -> SqlType for output typing (left-join
+    #: null-introduced columns are already stripped)
+    column_types: dict[str, object]
+    workers: int = 1
+    morsel_size: int = 0
+
+
+class _PlannerState:
+    def __init__(self, context, sum_config: SumConfig):
+        self.context = context
+        self.sum_config = sum_config
+        #: group-key resolved names that want dictionary encodings
+        self.encode_wanted: set[str] = set()
+        #: resolved keys nulled by a LEFT join (types no longer apply)
+        self.null_introduced: set[str] = set()
+
+
+def _build_pipeline(node: LogicalNode, state: _PlannerState) -> PhysPipeline:
+    if isinstance(node, Scan):
+        projected = (
+            node.projected if node.projected is not None
+            else tuple(node.columns)
+        )
+        column_map = {key: node.columns[key][0] for key in projected}
+        types = {key: node.columns[key][1] for key in projected}
+        encode = tuple(
+            key for key in projected
+            if key in state.encode_wanted
+            and types[key].numpy_dtype == np.dtype(object)
+        )
+        scan = PhysScan(
+            node.table, node.binding, column_map, types,
+            node.predicate, encode, node.rows,
+        )
+        chain = PhysPipeline(scan)
+        if node.predicate is not None:
+            chain.ops.append(PhysFilter(node.predicate, at_scan=True))
+        return chain
+    if isinstance(node, Dual):
+        return PhysPipeline(PhysScan(None))
+    if isinstance(node, Filter):
+        chain = _build_pipeline(node.child, state)
+        chain.ops.append(PhysFilter(node.predicate))
+        return chain
+    if isinstance(node, Join):
+        build_side = node.build_side
+        override = getattr(state.context, "join_build", "auto")
+        if override != "auto" and node.kind == "inner":
+            build_side = override
+        if build_side == "auto":
+            build_side = "right"
+        if build_side == "left":
+            build_node, probe_node = node.left, node.right
+            build_keys, probe_keys = node.left_keys, node.right_keys
+            probe_is_left = False
+        else:
+            build_node, probe_node = node.right, node.left
+            build_keys, probe_keys = node.right_keys, node.left_keys
+            probe_is_left = True
+        if node.kind == "left":
+            nulled = set(node.right.output_columns())
+            state.null_introduced |= nulled
+        from .optimizer import estimate_rows
+
+        chain = _build_pipeline(probe_node, state)
+        chain.ops.append(
+            PhysProbe(
+                _build_pipeline(build_node, state),
+                build_keys, probe_keys, node.kind, probe_is_left,
+                build_side, estimate_rows(build_node),
+            )
+        )
+        if node.residual is not None:
+            chain.ops.append(PhysFilter(node.residual))
+        return chain
+    raise TypeError(f"cannot lower {node!r} into a pipeline")
+
+
+def plan_physical(root: LogicalNode, context,
+                  sum_config: SumConfig) -> PhysicalQuery:
+    """Lower an optimized logical plan into a physical query."""
+    limit = None
+    order_by: tuple[ast.OrderItem, ...] = ()
+    having = None
+    node = root
+    if isinstance(node, Limit):
+        limit = node.count
+        node = node.child
+    if isinstance(node, Sort):
+        order_by = node.order_by
+        node = node.child
+    if not isinstance(node, Project):
+        raise TypeError(f"expected Project at the top of the plan, {node!r}")
+    items = node.items
+    node = node.child
+    if isinstance(node, Filter) and node.having:
+        having = node.predicate
+        node = node.child
+
+    state = _PlannerState(context, sum_config)
+    aggregate = None
+    if isinstance(node, Aggregate):
+        specs = _dedup_specs(node.aggregates, sum_config)
+        # Per-node engine decision.  The predicate is looked up through
+        # the pipeline module so test hooks (and future per-plan
+        # overrides) see one authoritative symbol.
+        supported = pipeline_mod.plan_supports_vectorized(
+            node.group_exprs, specs, _combined_predicate(node.child)
+        )
+        vectorized = bool(context.vectorized and supported)
+        aggregate = PhysAggregate(node.group_exprs, specs, vectorized)
+        if vectorized:
+            state.encode_wanted = {
+                expr.name for expr in node.group_exprs
+                if isinstance(expr, ast.ColumnRef)
+            }
+        group_exprs = node.group_exprs
+        node = node.child
+    else:
+        group_exprs = ()
+
+    chain = _build_pipeline(node, state)
+
+    from .plan import plan_column_types
+
+    column_types = plan_column_types(root)
+    for key in state.null_introduced:
+        column_types[key] = None
+
+    return PhysicalQuery(
+        pipeline=chain,
+        aggregate=aggregate,
+        items=items,
+        group_exprs=group_exprs,
+        having=having,
+        order_by=order_by,
+        limit=limit,
+        column_types=column_types,
+        workers=context.workers,
+        morsel_size=context.morsel_size,
+    )
+
+
+def _dedup_specs(aggregates, sum_config: SumConfig) -> list[AggregateSpec]:
+    seen: dict[str, AggregateSpec] = {}
+    for call in aggregates:
+        key = call.sql()
+        if key not in seen:
+            seen[key] = AggregateSpec(call, sum_config)
+    return list(seen.values())
+
+
+def _combined_predicate(node: LogicalNode) -> ast.Expr | None:
+    """AND of every row-scope predicate below ``node`` (the shape the
+    vectorization predicate historically received)."""
+    predicates: list[ast.Expr] = []
+
+    def walk(n: LogicalNode) -> None:
+        if isinstance(n, Scan) and n.predicate is not None:
+            predicates.append(n.predicate)
+        if isinstance(n, Filter) and not n.having:
+            predicates.append(n.predicate)
+        if isinstance(n, Join) and n.residual is not None:
+            predicates.append(n.residual)
+        for child in n.children():
+            walk(child)
+
+    walk(node)
+    if not predicates:
+        return None
+    combined = predicates[0]
+    for predicate in predicates[1:]:
+        combined = ast.Binary("AND", combined, predicate)
+    return combined
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN rendering
+# ---------------------------------------------------------------------------
+
+
+def _render_pipeline(chain: PhysPipeline, indent: int,
+                     lines: list[str], query: PhysicalQuery) -> None:
+    pad = "  " * indent
+    for op in reversed(chain.ops):
+        if isinstance(op, PhysFilter) and op.at_scan:
+            continue
+        lines.append(pad + op.describe())
+        if isinstance(op, PhysProbe):
+            lines.append(pad + "  [build side]")
+            _render_pipeline(op.build, indent + 2, lines, query)
+            lines.append(pad + "  [probe side]")
+            indent += 2
+            pad = "  " * indent
+    lines.append(pad + chain.source.describe())
+
+
+def render_physical(query: PhysicalQuery) -> str:
+    """Indented physical-plan text (EXPLAIN's second half)."""
+    lines: list[str] = []
+    indent = 0
+    if query.limit is not None:
+        lines.append("  " * indent + f"Limit({query.limit})")
+        indent += 1
+    if query.order_by:
+        keys = ", ".join(
+            item.expr.sql() + (" DESC" if item.descending else "")
+            for item in query.order_by
+        )
+        lines.append("  " * indent + f"Sort({keys})")
+        indent += 1
+    names = ", ".join(
+        item.output_name(i) for i, item in enumerate(query.items)
+    )
+    lines.append("  " * indent + f"Project({names})")
+    indent += 1
+    if query.having is not None:
+        lines.append("  " * indent + f"Filter(having={query.having.sql()})")
+        indent += 1
+    if query.aggregate is not None:
+        lines.append(
+            "  " * indent
+            + query.aggregate.describe(query.workers, query.morsel_size)
+        )
+        indent += 1
+    _render_pipeline(query.pipeline, indent, lines, query)
+    return "\n".join(lines)

@@ -58,21 +58,32 @@ DEFAULT_MORSEL_SIZE = 1 << 16
 class ExecutionContext:
     """Execution knobs threaded from the session into the pipeline."""
 
+    JOIN_BUILD_SIDES = ("auto", "left", "right")
+
     def __init__(self, workers: int = 1,
                  morsel_size: int = DEFAULT_MORSEL_SIZE,
-                 vectorized: bool = True):
+                 vectorized: bool = True, join_build: str = "auto"):
         workers = int(workers)
         morsel_size = int(morsel_size)
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if morsel_size < 1:
             raise ValueError("morsel_size must be >= 1")
+        if join_build not in self.JOIN_BUILD_SIDES:
+            raise ValueError(
+                f"join_build must be one of {self.JOIN_BUILD_SIDES}"
+            )
         self.workers = workers
         self.morsel_size = morsel_size
         #: Use the batched kernels of :mod:`repro.engine.vectorized` for
         #: GROUP BY plans they support (bit-identical repro results;
         #: unsupported plans fall back to the scalar path per query).
         self.vectorized = bool(vectorized)
+        #: Force the hash-join build side for inner joins ('left' /
+        #: 'right'); 'auto' lets the optimizer pick by estimated
+        #: cardinality.  In the repro sum modes the result bits are
+        #: identical either way — the reproducibility CI sweeps this.
+        self.join_build = join_build
         #: Stats of the most recent pipeline run (set by the drivers).
         self.last_stats: PipelineStats | None = None
         self._pool: ThreadPoolExecutor | None = None
@@ -173,8 +184,16 @@ def run_grouped_pipeline(
     where: ast.Expr | None,
     context: ExecutionContext,
     timings: OperatorTimings | None = None,
+    transform=None,
+    vectorized: bool | None = None,
 ):
     """Parallel GROUP BY: per-worker partial tables, exact merge.
+
+    ``transform`` (optional) is a per-morsel operator chain — filters
+    and hash-join probes composed by the physical planner — applied
+    inside the worker before ``where``.  ``vectorized`` carries the
+    planner's per-node engine decision; ``None`` falls back to deciding
+    here (legacy callers that skip the planner).
 
     Returns ``(key_arrays, result_arrays, ngroups)`` in canonical
     (sorted-key) group order.
@@ -182,10 +201,12 @@ def run_grouped_pipeline(
     wall_started = time.perf_counter()
     stats = PipelineStats(min(context.workers, max(len(morsels), 1)))
     stats.morsel_count = len(morsels)
-    stats.vectorized = bool(
-        context.vectorized
-        and plan_supports_vectorized(group_exprs, specs, where)
-    )
+    if vectorized is None:
+        vectorized = bool(
+            context.vectorized
+            and plan_supports_vectorized(group_exprs, specs, where)
+        )
+    stats.vectorized = bool(vectorized)
     make_table = VectorizedGroupTable if stats.vectorized else PartialGroupTable
     selection_seconds = [0.0] * stats.workers
     aggregation_seconds = [0.0] * stats.workers
@@ -194,7 +215,10 @@ def run_grouped_pipeline(
         table = make_table(group_exprs, specs)
         for index in assigned:
             t0 = time.thread_time()
-            filtered = apply_where(morsels[index], where)
+            batch = morsels[index]
+            if transform is not None:
+                batch = transform(batch)
+            filtered = apply_where(batch, where)
             t1 = time.thread_time()
             table.update(filtered)
             t2 = time.thread_time()
@@ -232,8 +256,12 @@ def run_projection_pipeline(
     where: ast.Expr | None,
     context: ExecutionContext,
     timings: OperatorTimings | None = None,
+    transform=None,
 ):
     """Parallel filter + project; morsel order is preserved on gather.
+
+    ``transform`` is the physical planner's per-morsel operator chain
+    (applied before ``where``), as in :func:`run_grouped_pipeline`.
 
     Returns ``(names, arrays)``.
     """
@@ -262,7 +290,10 @@ def run_projection_pipeline(
         out = []
         for index in assigned:
             t0 = time.thread_time()
-            filtered = apply_where(morsels[index], where)
+            batch = morsels[index]
+            if transform is not None:
+                batch = transform(batch)
+            filtered = apply_where(batch, where)
             selection_seconds[worker_id] += time.thread_time() - t0
             out.append((index, project_one(filtered)))
         return out

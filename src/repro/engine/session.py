@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from .catalog import Catalog
-from .executor import QueryResult, execute_select
+from .executor import QueryResult, execute_select, explain_select
 from .expr import evaluate
 from .operators import OperatorTimings, SumConfig
 from .pipeline import DEFAULT_MORSEL_SIZE, ExecutionContext, PipelineStats
@@ -51,11 +51,11 @@ class Database:
     def __init__(self, sum_mode: str = "ieee", levels: int = 2,
                  buffer_size: int | None = None, workers: int = 1,
                  morsel_size: int = DEFAULT_MORSEL_SIZE,
-                 vectorized: bool = True):
+                 vectorized: bool = True, join_build: str = "auto"):
         self.catalog = Catalog()
         self.sum_config = SumConfig(sum_mode, levels, buffer_size)
         self.execution_context = ExecutionContext(
-            workers, morsel_size, vectorized
+            workers, morsel_size, vectorized, join_build
         )
         self.last_timings: OperatorTimings | None = None
 
@@ -72,6 +72,8 @@ class Database:
         count (an int) for DDL/DML.
         """
         stmt = parse(sql_text)
+        if isinstance(stmt, ast.Explain):
+            return self._explain(stmt.query)
         if isinstance(stmt, ast.Select):
             timings = OperatorTimings()
             result = execute_select(
@@ -100,6 +102,26 @@ class Database:
 
     def table(self, name: str):
         return self.catalog.get(name)
+
+    def explain(self, sql_text: str) -> str:
+        """Plan text for a SELECT (with or without an EXPLAIN prefix).
+
+        Shows the optimized logical plan (pushdown rules applied) and
+        the chosen physical operators — vectorized or scalar
+        aggregation, worker/morsel configuration, hash-join build
+        sides — without executing the query.
+        """
+        stmt = parse(sql_text)
+        if isinstance(stmt, ast.Explain):
+            stmt = stmt.query
+        if not isinstance(stmt, ast.Select):
+            raise TypeError("explain() expects a SELECT statement")
+        return self._explain(stmt)
+
+    def _explain(self, stmt: ast.Select) -> str:
+        return explain_select(
+            stmt, self.catalog.get, self.sum_config, self.execution_context
+        )
 
     # -- DML ------------------------------------------------------------------
     def _execute_insert(self, stmt: ast.Insert) -> int:

@@ -22,7 +22,10 @@ __all__ = [
     "IntervalLiteral",
     "SelectItem",
     "OrderItem",
+    "TableRef",
+    "Join",
     "Select",
+    "Explain",
     "CreateTable",
     "ColumnDef",
     "Insert",
@@ -115,9 +118,12 @@ class Between(Expr):
 class FuncCall(Expr):
     name: str  # upper-cased
     args: tuple[Expr, ...]
+    distinct: bool = False
 
     def sql(self) -> str:
         inner = ", ".join(arg.sql() for arg in self.args)
+        if self.distinct:
+            return f"{self.name}(DISTINCT {inner})"
         return f"{self.name}({inner})"
 
     AGGREGATE_NAMES = (
@@ -153,14 +159,66 @@ class OrderItem:
 
 
 @dataclass(frozen=True)
+class TableRef:
+    """One base-table reference in a FROM clause."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is addressable by in the query scope."""
+        return self.alias or self.name
+
+    def sql(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    """A join between two FROM items (left-deep nesting).
+
+    ``kind`` is ``'inner'``, ``'left'`` or ``'cross'``; ``condition`` is
+    the ON expression (``None`` for comma/cross joins, whose predicates
+    arrive through WHERE and are recovered by the optimizer).
+    """
+
+    left: "TableRef | Join"
+    right: TableRef
+    kind: str = "inner"
+    condition: Expr | None = None
+
+    def sql(self) -> str:
+        word = {"inner": "JOIN", "left": "LEFT JOIN", "cross": "CROSS JOIN"}
+        text = f"{self.left.sql()} {word[self.kind]} {self.right.sql()}"
+        if self.condition is not None:
+            text += f" ON {self.condition.sql()}"
+        return text
+
+
+@dataclass(frozen=True)
 class Select:
     items: tuple[SelectItem, ...]
-    table: str | None
+    from_clause: "TableRef | Join | None"
     where: Expr | None = None
     group_by: tuple[Expr, ...] = ()
     having: Expr | None = None
     order_by: tuple[OrderItem, ...] = ()
     limit: int | None = None
+
+    @property
+    def table(self) -> str | None:
+        """Single-table FROM name (legacy accessor; ``None`` for joins)."""
+        if isinstance(self.from_clause, TableRef):
+            return self.from_clause.name
+        return None
+
+
+@dataclass(frozen=True)
+class Explain:
+    """EXPLAIN <select>: request the plan text instead of the rows."""
+
+    query: Select
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ KEYWORDS = {
     "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
     "DATE", "INTERVAL", "DAY", "MONTH", "YEAR",
     "TRUE", "FALSE", "NULL", "DISTINCT",
+    "JOIN", "INNER", "LEFT", "OUTER", "CROSS", "ON", "EXPLAIN",
 }
 
 _TWO_CHAR_OPS = ("<=", ">=", "<>", "!=")

@@ -2,11 +2,16 @@
 
 Grammar (simplified)::
 
-    statement   := select | create | insert | update | delete | drop
-    select      := SELECT item (',' item)* FROM ident
+    statement   := select | explain | create | insert | update | delete
+                 | drop
+    explain     := EXPLAIN select
+    select      := SELECT item (',' item)* [FROM from_clause]
                    [WHERE expr] [GROUP BY expr (',' expr)*]
                    [HAVING expr] [ORDER BY order (',' order)*]
                    [LIMIT number]
+    from_clause := table_ref ((',' | join_op) table_ref [ON expr])*
+    join_op     := [INNER] JOIN | LEFT [OUTER] JOIN | CROSS JOIN
+    table_ref   := ident [[AS] ident]
     expr        := or ; standard precedence
     or          := and (OR and)*
     and         := not (AND not)*
@@ -18,9 +23,9 @@ Grammar (simplified)::
     primary     := literal | DATE string | INTERVAL string unit
                  | func '(' args ')' | column | '(' expr ')' | '*'
 
-Covers everything the paper's queries need (Algorithm 1, TPC-H Q1/Q6,
-HAVING-misclassification examples) without pretending to be a full SQL
-front end.
+Covers everything the paper's queries need (Algorithm 1, TPC-H
+Q1/Q3/Q5/Q6, HAVING-misclassification examples) without pretending to
+be a full SQL front end.
 """
 
 from __future__ import annotations
@@ -86,7 +91,10 @@ class _Parser:
 
     # -- statements --------------------------------------------------------
     def parse_statement(self):
-        if self.check_kw("SELECT"):
+        if self.check_kw("EXPLAIN"):
+            self.advance()
+            stmt = ast.Explain(self.parse_select())
+        elif self.check_kw("SELECT"):
             stmt = self.parse_select()
         elif self.check_kw("CREATE"):
             stmt = self.parse_create()
@@ -107,12 +115,17 @@ class _Parser:
 
     def parse_select(self) -> ast.Select:
         self.expect_kw("SELECT")
+        if self.check_kw("DISTINCT"):
+            raise SqlParseError(
+                "SELECT DISTINCT is not supported "
+                "(COUNT(DISTINCT expr) is)"
+            )
         items = [self.parse_select_item()]
         while self.accept_op(","):
             items.append(self.parse_select_item())
-        table = None
+        from_clause = None
         if self.accept_kw("FROM"):
-            table = self.expect_ident()
+            from_clause = self.parse_from_clause()
         where = self.parse_expr() if self.accept_kw("WHERE") else None
         group_by: list[ast.Expr] = []
         if self.accept_kw("GROUP"):
@@ -134,9 +147,50 @@ class _Parser:
                 raise SqlParseError("LIMIT expects an integer")
             limit = tok.value
         return ast.Select(
-            tuple(items), table, where, tuple(group_by), having,
+            tuple(items), from_clause, where, tuple(group_by), having,
             tuple(order_by), limit,
         )
+
+    def parse_from_clause(self) -> "ast.TableRef | ast.Join":
+        """FROM item: comma list (implicit inner joins) and JOIN ... ON
+        clauses, folded into a left-deep :class:`ast.Join` tree."""
+        left: ast.TableRef | ast.Join = self.parse_table_ref()
+        while True:
+            if self.accept_op(","):
+                # Comma join: an inner join whose predicate lives in
+                # WHERE (the optimizer recovers the equi-keys).
+                left = ast.Join(left, self.parse_table_ref(), "inner", None)
+                continue
+            kind = None
+            if self.accept_kw("JOIN"):
+                kind = "inner"
+            elif self.accept_kw("INNER"):
+                self.expect_kw("JOIN")
+                kind = "inner"
+            elif self.accept_kw("LEFT"):
+                self.accept_kw("OUTER")
+                self.expect_kw("JOIN")
+                kind = "left"
+            elif self.accept_kw("CROSS"):
+                self.expect_kw("JOIN")
+                kind = "cross"
+            if kind is None:
+                return left
+            right = self.parse_table_ref()
+            condition = None
+            if kind != "cross":
+                self.expect_kw("ON")
+                condition = self.parse_expr()
+            left = ast.Join(left, right, kind, condition)
+
+    def parse_table_ref(self) -> ast.TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "IDENT":
+            alias = self.advance().value
+        return ast.TableRef(name, alias)
 
     def parse_select_item(self) -> ast.SelectItem:
         expr = self.parse_expr()
@@ -354,13 +408,13 @@ class _Parser:
             if self.check_op("("):  # function call
                 self.advance()
                 args: list[ast.Expr] = []
-                self.accept_kw("DISTINCT")  # parsed, not honoured
+                distinct = self.accept_kw("DISTINCT")
                 if not self.check_op(")"):
                     args.append(self.parse_expr())
                     while self.accept_op(","):
                         args.append(self.parse_expr())
                 self.expect_op(")")
-                return ast.FuncCall(name.upper(), tuple(args))
+                return ast.FuncCall(name.upper(), tuple(args), distinct)
             if self.check_op("."):
                 self.advance()
                 column = self.expect_ident()

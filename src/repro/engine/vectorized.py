@@ -57,6 +57,7 @@ from .operators import (
     _ReproSumImpl,
     _SumState,
     _make_float_sum_impl,
+    factorize_object,
 )
 from .sql import ast
 from .types import DecimalSqlType
@@ -120,6 +121,10 @@ def plan_supports_vectorized(group_exprs, aggregates,
     for aggregate in aggregates:
         call = aggregate.call if isinstance(aggregate, AggregateSpec) else aggregate
         if call.name not in _SUPPORTED_AGGREGATES:
+            return False
+        if getattr(call, "distinct", False):
+            # COUNT(DISTINCT) keeps per-group value sets; that state has
+            # no segmented kernel, so the scalar path runs it.
             return False
         for arg in call.args:
             if isinstance(arg, ast.Star):
@@ -294,27 +299,6 @@ class _VecSecondMomentState:
 
 
 # ---------------------------------------------------------------------------
-# Object-array factorization (expression-produced keys, no encoding)
-# ---------------------------------------------------------------------------
-
-def _factorize_object(arr: np.ndarray):
-    """Dictionary-encode an object array in one pass (first-arrival
-    codes; far cheaper than ``np.unique``'s Python-level sort)."""
-    table: dict = {}
-    codes = np.empty(arr.size, dtype=np.int64)
-    for i, value in enumerate(arr.tolist()):
-        code = table.get(value)
-        if code is None:
-            code = len(table)
-            table[value] = code
-        codes[i] = code
-    uniques = np.empty(len(table), dtype=object)
-    for value, code in table.items():
-        uniques[code] = value
-    return codes, uniques
-
-
-# ---------------------------------------------------------------------------
 # The vectorized group table
 # ---------------------------------------------------------------------------
 
@@ -417,7 +401,7 @@ class VectorizedGroupTable(PartialGroupTable):
                 all_encoded = False
                 arr = cache.values(expr, batch.nrows)
                 if arr.dtype == object:
-                    codes, uniques = _factorize_object(arr)
+                    codes, uniques = factorize_object(arr)
                 else:
                     uniques, codes = np.unique(arr, return_inverse=True)
                     codes = codes.astype(np.int64, copy=False)

@@ -1,10 +1,17 @@
-"""Deterministic TPC-H ``lineitem`` generator (scaled down).
+"""Deterministic TPC-H table generators (scaled down).
 
 The paper's end-to-end experiment (Table IV) runs "a modified TPC-H
 benchmark as workload where we replaced all DECIMAL columns by DOUBLE"
 in MonetDB.  The official ``dbgen`` is C and SF=1 produces six million
-``lineitem`` rows; this module generates the same table shape at small
-scale factors with the spec's value distributions:
+``lineitem`` rows; this module generates the same table shapes at
+small scale factors.  Besides ``lineitem`` (the paper's Q1/Q6 subject)
+it produces the join dimensions the planner's multi-table queries need
+— ``orders``, ``customer``, ``supplier`` and the fixed ``nation`` /
+``region`` lists — with mutually consistent keys (``l_orderkey``
+references ``o_orderkey`` at the same scale factor, ``o_custkey``
+references ``c_custkey``, ``l_suppkey`` references ``s_suppkey``).
+
+``lineitem`` value distributions follow the spec:
 
 * ``l_quantity``      — uniform integers in [1, 50];
 * ``l_extendedprice`` — quantity * unit price, unit price in
@@ -35,15 +42,34 @@ from ..engine.types import DATE, DOUBLE, INT, VarcharType
 
 __all__ = [
     "LINEITEM_COLUMNS",
+    "ORDERS_COLUMNS",
+    "CUSTOMER_COLUMNS",
+    "SUPPLIER_COLUMNS",
+    "NATION_COLUMNS",
+    "REGION_COLUMNS",
     "generate_lineitem_arrays",
+    "generate_orders_arrays",
+    "generate_customer_arrays",
+    "generate_supplier_arrays",
+    "nation_arrays",
+    "region_arrays",
     "lineitem_table",
+    "tpch_tables",
     "load_lineitem",
+    "load_tpch",
     "shuffled_copy",
     "ROWS_PER_SCALE",
+    "ORDERS_PER_SCALE",
+    "CUSTOMERS_PER_SCALE",
+    "SUPPLIERS_PER_SCALE",
 ]
 
 #: SF=1 is ~6,000,000 lineitem rows.
 ROWS_PER_SCALE = 6_000_000
+#: SF=1 row counts of the dimension tables (spec section 4.2.5).
+ORDERS_PER_SCALE = 1_500_000
+CUSTOMERS_PER_SCALE = 150_000
+SUPPLIERS_PER_SCALE = 10_000
 
 _EPOCH_START = datetime.date(1992, 1, 1).toordinal()
 _EPOCH_END = datetime.date(1998, 8, 2).toordinal()
@@ -52,6 +78,7 @@ _CUTOFF = datetime.date(1995, 6, 17).toordinal()
 #: Modified benchmark: DECIMAL columns replaced by DOUBLE (paper §VI-E).
 LINEITEM_COLUMNS = [
     ("l_orderkey", INT),
+    ("l_suppkey", INT),
     ("l_linenumber", INT),
     ("l_quantity", DOUBLE),
     ("l_extendedprice", DOUBLE),
@@ -64,6 +91,66 @@ LINEITEM_COLUMNS = [
     ("l_receiptdate", DATE),
 ]
 
+ORDERS_COLUMNS = [
+    ("o_orderkey", INT),
+    ("o_custkey", INT),
+    ("o_orderstatus", VarcharType(1)),
+    ("o_totalprice", DOUBLE),
+    ("o_orderdate", DATE),
+    ("o_shippriority", INT),
+]
+
+CUSTOMER_COLUMNS = [
+    ("c_custkey", INT),
+    ("c_name", VarcharType(25)),
+    ("c_nationkey", INT),
+    ("c_mktsegment", VarcharType(10)),
+    ("c_acctbal", DOUBLE),
+]
+
+SUPPLIER_COLUMNS = [
+    ("s_suppkey", INT),
+    ("s_nationkey", INT),
+    ("s_acctbal", DOUBLE),
+]
+
+NATION_COLUMNS = [
+    ("n_nationkey", INT),
+    ("n_name", VarcharType(25)),
+    ("n_regionkey", INT),
+]
+
+REGION_COLUMNS = [
+    ("r_regionkey", INT),
+    ("r_name", VarcharType(25)),
+]
+
+#: The spec's fixed region / nation lists (nation -> region mapping).
+_REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+_NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+
+_MKT_SEGMENTS = (
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD",
+)
+
+
+def _scaled(per_scale: int, scale_factor: float) -> int:
+    return max(1, int(round(scale_factor * per_scale)))
+
+
+def _norders(scale_factor: float) -> int:
+    # Orders average ~4 lineitems; keep the key range consistent with
+    # the orderkeys lineitem draws.
+    return max(1, _scaled(ROWS_PER_SCALE, scale_factor) // 4)
+
 
 def generate_lineitem_arrays(scale_factor: float = 0.001, seed: int = 19920101) -> dict:
     """Generate the lineitem columns as storage-ready NumPy arrays."""
@@ -71,7 +158,7 @@ def generate_lineitem_arrays(scale_factor: float = 0.001, seed: int = 19920101) 
     rng = np.random.default_rng(seed)
 
     # Orders average ~4 lineitems; assign line numbers within an order.
-    norders = max(1, nrows // 4)
+    norders = _norders(scale_factor)
     orderkeys = np.sort(rng.integers(1, norders + 1, size=nrows))
     linenumbers = np.ones(nrows, dtype=np.int64)
     same = np.concatenate(([False], orderkeys[1:] == orderkeys[:-1]))
@@ -97,8 +184,13 @@ def generate_lineitem_arrays(scale_factor: float = 0.001, seed: int = 19920101) 
     returnflag = np.where(returned, np.where(flag_roll == 0, "R", "A"), "N")
     linestatus = np.where(shipdate <= _CUTOFF, "F", "O")
 
+    # Drawn last so the earlier columns keep their historical streams.
+    nsupp = _scaled(SUPPLIERS_PER_SCALE, scale_factor)
+    suppkeys = rng.integers(1, nsupp + 1, size=nrows)
+
     return {
         "l_orderkey": orderkeys.astype(np.int64),
+        "l_suppkey": suppkeys.astype(np.int64),
         "l_linenumber": linenumbers,
         "l_quantity": quantity,
         "l_extendedprice": extendedprice,
@@ -112,11 +204,104 @@ def generate_lineitem_arrays(scale_factor: float = 0.001, seed: int = 19920101) 
     }
 
 
+def generate_orders_arrays(scale_factor: float = 0.001,
+                           seed: int = 19920101) -> dict:
+    """Generate the ``orders`` columns (keys match lineitem's range)."""
+    norders = _norders(scale_factor)
+    ncust = _scaled(CUSTOMERS_PER_SCALE, scale_factor)
+    rng = np.random.default_rng([seed, 1])
+    orderdate = rng.integers(_EPOCH_START, _EPOCH_END, size=norders)
+    return {
+        "o_orderkey": np.arange(1, norders + 1, dtype=np.int64),
+        "o_custkey": rng.integers(1, ncust + 1, size=norders),
+        "o_orderstatus": np.where(
+            orderdate + 90 <= _CUTOFF, "F", "O"
+        ).astype(object),
+        "o_totalprice": np.round(
+            rng.uniform(900.0, 450_000.0, size=norders), 2
+        ),
+        "o_orderdate": orderdate,
+        # The spec fixes shippriority to 0; Q3 groups by it regardless.
+        "o_shippriority": np.zeros(norders, dtype=np.int64),
+    }
+
+
+def generate_customer_arrays(scale_factor: float = 0.001,
+                             seed: int = 19920101) -> dict:
+    """Generate the ``customer`` columns."""
+    ncust = _scaled(CUSTOMERS_PER_SCALE, scale_factor)
+    rng = np.random.default_rng([seed, 2])
+    segments = np.array(_MKT_SEGMENTS, dtype=object)
+    return {
+        "c_custkey": np.arange(1, ncust + 1, dtype=np.int64),
+        "c_name": np.array(
+            [f"Customer#{key:09d}" for key in range(1, ncust + 1)],
+            dtype=object,
+        ),
+        "c_nationkey": rng.integers(0, len(_NATIONS), size=ncust),
+        "c_mktsegment": segments[rng.integers(0, len(segments), size=ncust)],
+        "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, size=ncust), 2),
+    }
+
+
+def generate_supplier_arrays(scale_factor: float = 0.001,
+                             seed: int = 19920101) -> dict:
+    """Generate the ``supplier`` columns."""
+    nsupp = _scaled(SUPPLIERS_PER_SCALE, scale_factor)
+    rng = np.random.default_rng([seed, 3])
+    return {
+        "s_suppkey": np.arange(1, nsupp + 1, dtype=np.int64),
+        "s_nationkey": rng.integers(0, len(_NATIONS), size=nsupp),
+        "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, size=nsupp), 2),
+    }
+
+
+def nation_arrays() -> dict:
+    """The spec's fixed 25-nation list."""
+    return {
+        "n_nationkey": np.arange(len(_NATIONS), dtype=np.int64),
+        "n_name": np.array([name for name, _ in _NATIONS], dtype=object),
+        "n_regionkey": np.array(
+            [region for _, region in _NATIONS], dtype=np.int64
+        ),
+    }
+
+
+def region_arrays() -> dict:
+    """The spec's fixed 5-region list."""
+    return {
+        "r_regionkey": np.arange(len(_REGIONS), dtype=np.int64),
+        "r_name": np.array(list(_REGIONS), dtype=object),
+    }
+
+
 def lineitem_table(scale_factor: float = 0.001, seed: int = 19920101) -> Table:
     """Build a loaded ``lineitem`` :class:`~repro.engine.table.Table`."""
     table = Table("lineitem", Schema(list(LINEITEM_COLUMNS)))
     table.bulk_load(generate_lineitem_arrays(scale_factor, seed))
     return table
+
+
+def tpch_tables(scale_factor: float = 0.001, seed: int = 19920101) -> dict:
+    """All six tables, loaded, keyed by name."""
+    specs = [
+        ("lineitem", LINEITEM_COLUMNS,
+         generate_lineitem_arrays(scale_factor, seed)),
+        ("orders", ORDERS_COLUMNS,
+         generate_orders_arrays(scale_factor, seed)),
+        ("customer", CUSTOMER_COLUMNS,
+         generate_customer_arrays(scale_factor, seed)),
+        ("supplier", SUPPLIER_COLUMNS,
+         generate_supplier_arrays(scale_factor, seed)),
+        ("nation", NATION_COLUMNS, nation_arrays()),
+        ("region", REGION_COLUMNS, region_arrays()),
+    ]
+    tables = {}
+    for name, columns, arrays in specs:
+        table = Table(name, Schema(list(columns)))
+        table.bulk_load(arrays)
+        tables[name] = table
+    return tables
 
 
 def load_lineitem(db, scale_factor: float = 0.001, seed: int = 19920101) -> int:
@@ -126,6 +311,18 @@ def load_lineitem(db, scale_factor: float = 0.001, seed: int = 19920101) -> int:
     table = lineitem_table(scale_factor, seed)
     db.catalog.add(table)
     return len(table)
+
+
+def load_tpch(db, scale_factor: float = 0.001,
+              seed: int = 19920101) -> dict[str, int]:
+    """Create and load every TPC-H table; returns row counts by name."""
+    counts = {}
+    for name, table in tpch_tables(scale_factor, seed).items():
+        if name in db.catalog:
+            db.catalog.drop(name)
+        db.catalog.add(table)
+        counts[name] = len(table)
+    return counts
 
 
 def shuffled_copy(db_or_table, seed: int) -> Table:

@@ -161,7 +161,7 @@ class TestStatementParsing:
 
     def test_garbage_statement(self):
         with pytest.raises(SqlParseError):
-            parse("EXPLAIN SELECT 1")
+            parse("VACUUM SELECT 1")
 
     def test_trailing_tokens_rejected(self):
         with pytest.raises(SqlParseError):

@@ -12,6 +12,10 @@ baseline by more than the tolerance (default 25%, overridable with
 the measured ``speedups`` ratios — ratios are machine-relative, so they
 gate reliably even when absolute timings move with the runner.
 
+When ``$GITHUB_STEP_SUMMARY`` is set (always, inside GitHub Actions)
+the comparison table is also appended there as Markdown, so perf
+deltas are visible on the run page without downloading artifacts.
+
 ``--update-baseline`` rewrites the baseline's ``ns_per_element``
 section from the current run (floors are left untouched).
 """
@@ -27,7 +31,102 @@ def load(path):
         return json.load(handle)
 
 
-def main():
+def compare(current, baseline, tolerance):
+    """Returns ``(kernel_rows, speedup_rows, failures)``.
+
+    Kernel rows: ``(name, measured, reference, ratio, limit, status)``;
+    speedup rows: ``(name, measured, floor, status)``.  Missing entries
+    appear with ``None`` measurements and status ``FAIL``.
+    """
+    failures = []
+    kernel_rows = []
+    current_ns = current.get("ns_per_element", {})
+    reference_ns = baseline.get("ns_per_element", {})
+    for kernel, reference in sorted(reference_ns.items()):
+        measured = current_ns.get(kernel)
+        if measured is None:
+            kernel_rows.append((kernel, None, reference, None, None, "FAIL"))
+            failures.append(f"{kernel}: missing from current run")
+            continue
+        limit = reference * (1.0 + tolerance)
+        ratio = measured / reference if reference else float("inf")
+        status = "FAIL" if measured > limit else "ok"
+        kernel_rows.append((kernel, measured, reference, ratio, limit, status))
+        if measured > limit:
+            failures.append(
+                f"{kernel}: {measured:.1f} ns/el exceeds {limit:.1f} "
+                f"(baseline {reference:.1f} +{tolerance:.0%})"
+            )
+
+    speedup_rows = []
+    current_speedups = current.get("speedups", {})
+    for name, floor in sorted(baseline.get("speedup_floors", {}).items()):
+        measured = current_speedups.get(name)
+        if measured is None:
+            speedup_rows.append((name, None, floor, "FAIL"))
+            failures.append(f"speedup {name}: missing from current run")
+            continue
+        status = "FAIL" if measured < floor else "ok"
+        speedup_rows.append((name, measured, floor, status))
+        if measured < floor:
+            failures.append(
+                f"speedup {name}: {measured:.2f}x below the {floor}x floor"
+            )
+    return kernel_rows, speedup_rows, failures
+
+
+def render_markdown(kernel_rows, speedup_rows, tolerance, failures):
+    """The step-summary Markdown report."""
+    verdict = "❌ FAILED" if failures else "✅ passed"
+    lines = [
+        f"## Bench regression gate {verdict}",
+        "",
+        f"ns/element vs committed baseline (tolerance {tolerance:.0%}):",
+        "",
+        "| kernel | current ns/el | baseline | ratio | limit | status |",
+        "| --- | ---: | ---: | ---: | ---: | :---: |",
+    ]
+    for name, measured, reference, ratio, limit, status in kernel_rows:
+        if measured is None:
+            cells = ["_missing_", f"{reference:.1f}", "—", "—"]
+        else:
+            cells = [
+                f"{measured:.1f}",
+                f"{reference:.1f}",
+                f"{ratio:.2f}x",
+                f"{limit:.1f}",
+            ]
+        joined = " | ".join([f"`{name}`"] + cells + [status])
+        lines.append(f"| {joined} |")
+    if speedup_rows:
+        lines += [
+            "",
+            "Speedup floors (machine-relative ratios):",
+            "",
+            "| speedup | measured | floor | status |",
+            "| --- | ---: | ---: | :---: |",
+        ]
+        for name, measured, floor, status in speedup_rows:
+            rendered = "_missing_" if measured is None else f"{measured:.2f}x"
+            lines.append(f"| `{name}` | {rendered} | {floor}x | {status} |")
+    if failures:
+        lines += ["", "Failures:", ""]
+        lines += [f"- {failure}" for failure in failures]
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(markdown, path=None):
+    """Append the report to ``$GITHUB_STEP_SUMMARY`` when present."""
+    target = path if path is not None else os.environ.get("GITHUB_STEP_SUMMARY")
+    if not target:
+        return False
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(markdown)
+        handle.write("\n")
+    return True
+
+
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="BENCH_pr.json from this run")
     parser.add_argument("baseline", help="committed benchmarks/baseline.json")
@@ -42,7 +141,7 @@ def main():
         action="store_true",
         help="rewrite the baseline ns/element numbers from the current run",
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     current = load(args.current)
     baseline = load(args.baseline)
@@ -55,39 +154,24 @@ def main():
         print(f"baseline ns/element updated from {args.current}")
         return 0
 
-    failures = []
-    current_ns = current.get("ns_per_element", {})
-    reference_ns = baseline.get("ns_per_element", {})
-    for kernel, reference in sorted(reference_ns.items()):
-        measured = current_ns.get(kernel)
+    kernel_rows, speedup_rows, failures = compare(current, baseline, args.tolerance)
+    for name, measured, reference, ratio, limit, status in kernel_rows:
         if measured is None:
-            failures.append(f"{kernel}: missing from current run")
-            continue
-        limit = reference * (1.0 + args.tolerance)
-        ratio = measured / reference if reference else float("inf")
-        status = "FAIL" if measured > limit else "ok"
-        print(
-            f"[{status}] {kernel}: {measured:.1f} ns/el "
-            f"(baseline {reference:.1f}, {ratio:.2f}x, limit {limit:.1f})"
-        )
-        if measured > limit:
-            failures.append(
-                f"{kernel}: {measured:.1f} ns/el exceeds {limit:.1f} "
-                f"(baseline {reference:.1f} +{args.tolerance:.0%})"
+            print(f"[{status}] {name}: missing from current run")
+        else:
+            print(
+                f"[{status}] {name}: {measured:.1f} ns/el "
+                f"(baseline {reference:.1f}, {ratio:.2f}x, limit {limit:.1f})"
             )
+    for name, measured, floor, status in speedup_rows:
+        if measured is None:
+            print(f"[{status}] speedup {name}: missing from current run")
+        else:
+            print(f"[{status}] speedup {name}: {measured:.2f}x (floor {floor}x)")
 
-    current_speedups = current.get("speedups", {})
-    for name, floor in sorted(baseline.get("speedup_floors", {}).items()):
-        measured = current_speedups.get(name)
-        if measured is None:
-            failures.append(f"speedup {name}: missing from current run")
-            continue
-        status = "FAIL" if measured < floor else "ok"
-        print(f"[{status}] speedup {name}: {measured:.2f}x (floor {floor}x)")
-        if measured < floor:
-            failures.append(
-                f"speedup {name}: {measured:.2f}x below the {floor}x floor"
-            )
+    write_step_summary(
+        render_markdown(kernel_rows, speedup_rows, args.tolerance, failures)
+    )
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)

@@ -2,24 +2,32 @@
 """Canonical-query reproducibility digest for the CI matrix.
 
 Runs a fixed query set under the repro sum modes across every
-``(workers, morsel_size, vectorized)`` combination — and, for the join
-queries, every hash-join build side — asserts the result bits are
-identical *within* this process, and writes one digest line per
-(query, mode) to ``--out`` (default ``repro_digest.txt``).
+``(workers, morsel_size, vectorized, memory_budget)`` combination —
+and, for the join queries, every hash-join build side — asserts the
+result bits are identical *within* this process, and writes one digest
+line per (query, mode) to ``--out`` (default ``repro_digest.txt``).
 
 The digest deliberately excludes the execution knobs: a leg running
 ``--workers 1,2`` and a leg running ``--workers 4,8`` — or a different
-OS / Python — must produce byte-identical files.  The CI compare job
-downloads every leg's digest and fails if any two differ, which is the
-paper's reproducibility claim turned into a cross-platform gate.  The
-join legs (TPC-H Q3 and an adversarial NaN/-0.0-key join) extend that
-gate to the planner: plan choice, probe order, and build side must be
-invisible in repro-mode bits.
+OS / Python, or a different set of memory budgets — must produce
+byte-identical files.  The CI compare job downloads every leg's digest
+and fails if any two differ, which is the paper's reproducibility
+claim turned into a cross-platform gate.  The join legs (TPC-H Q3 and
+an adversarial NaN/-0.0-key join) extend that gate to the planner:
+plan choice, probe order, and build side must be invisible in
+repro-mode bits.  The memory-budget axis extends it to out-of-core
+execution: an unbounded run, a tight budget that forces the external
+aggregation to spill partitions to disk, and a pathological 1-byte
+budget that spills after every morsel must all agree bit for bit.
 
-Worker counts can also come from the ``REPRO_DIGEST_WORKERS`` env var
-(comma-separated), so matrix legs vary them without changing the
-command line; ``REPRO_DIGEST_BUILD_SIDES`` does the same for the join
-build sides (default ``auto,left,right``).
+Env overrides (so matrix legs vary without changing the command line):
+
+* ``REPRO_DIGEST_WORKERS`` — comma-separated worker counts;
+* ``REPRO_DIGEST_BUILD_SIDES`` — hash-join build sides for join legs;
+* ``REPRO_DIGEST_MEMORY_BUDGETS`` — comma-separated byte budgets;
+  ``unbounded`` (or ``0``) disables spilling for that run;
+* ``REPRO_DIGEST_TPCH_SCALE`` — TPC-H scale factor (the nightly deep
+  matrix runs x10 the PR default).
 """
 
 import argparse
@@ -34,7 +42,7 @@ from repro.tpch import Q1_SQL, Q3_SQL, Q6_SQL, load_tpch
 
 MODES = ("repro", "repro_buffered", "sorted")
 MORSEL_SIZES = (1 << 16, 4096, 257)
-TPCH_SCALE = 0.002  # ~12k lineitem rows: fast, still multi-morsel
+DEFAULT_TPCH_SCALE = 0.002  # ~12k lineitem rows: fast, still multi-morsel
 
 MIXED_QUERY = (
     "SELECT k, s, SUM(v) AS sv, RSUM(v, 3) AS rv, AVG(v) AS av, "
@@ -47,6 +55,11 @@ JOIN_EDGE_QUERY = (
     "COUNT(DISTINCT v) AS dv, COUNT(*) AS c "
     "FROM jl, jr WHERE jl.k = jr.k GROUP BY jl.k ORDER BY k"
 )
+
+
+def tpch_scale() -> float:
+    default = str(DEFAULT_TPCH_SCALE)
+    return float(os.environ.get("REPRO_DIGEST_TPCH_SCALE", default))
 
 
 def _mixed_data():
@@ -74,7 +87,7 @@ def _edge_data():
 
 def _load(db, which):
     if which == "tpch":
-        load_tpch(db, scale_factor=TPCH_SCALE)
+        load_tpch(db, scale_factor=tpch_scale())
         return
     if which == "mixed":
         keys, labels, values = _mixed_data()
@@ -126,6 +139,43 @@ QUERIES = (
 )
 
 
+def parse_workers(text: str) -> list[int]:
+    workers = [int(part) for part in text.split(",") if part.strip()]
+    if not workers or any(w < 1 for w in workers):
+        raise SystemExit(f"bad worker counts {text!r}")
+    return workers
+
+
+def parse_build_sides(text: str) -> tuple[str, ...]:
+    sides = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not sides or any(s not in ("auto", "left", "right") for s in sides):
+        raise SystemExit(f"bad build sides {text!r}")
+    return sides
+
+
+def parse_budgets(text: str) -> tuple:
+    """Parse the memory-budget sweep: ``unbounded`` / ``none`` / ``0``
+    mean no budget; anything else is a byte count."""
+    budgets = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part.lower() in ("unbounded", "none", "0"):
+            budgets.append(None)
+            continue
+        try:
+            value = int(part)
+        except ValueError:
+            raise SystemExit(f"bad memory budget {part!r}") from None
+        if value < 0:
+            raise SystemExit(f"bad memory budget {part!r}")
+        budgets.append(value)
+    if not budgets:
+        raise SystemExit(f"no memory budgets in {text!r}")
+    return tuple(budgets)
+
+
 def canonical_bytes(result):
     """Platform-independent byte form of a query result."""
     pieces = [("|".join(result.names)).encode("utf-8")]
@@ -141,9 +191,9 @@ def canonical_bytes(result):
     return b"\x1e".join(pieces)
 
 
-def digest_lines(workers, build_sides):
+def digest_lines(workers, build_sides, budgets=(None,), queries=QUERIES):
     lines = []
-    for query_id, source, sql, sweeps_builds in QUERIES:
+    for query_id, source, sql, sweeps_builds in queries:
         sides = build_sides if sweeps_builds else ("auto",)
         for mode in MODES:
             reference = None
@@ -152,36 +202,39 @@ def digest_lines(workers, build_sides):
                 for morsel_size in MORSEL_SIZES:
                     for vectorized in (True, False):
                         for build_side in sides:
-                            db = Database(
-                                sum_mode=mode,
-                                workers=worker_count,
-                                morsel_size=morsel_size,
-                                vectorized=vectorized,
-                                join_build=build_side,
-                            )
-                            _load(db, source)
-                            payload = canonical_bytes(db.execute(sql))
-                            config = (
-                                worker_count,
-                                morsel_size,
-                                vectorized,
-                                build_side,
-                            )
-                            if reference is None:
-                                reference = payload
-                                reference_config = config
-                            elif payload != reference:
-                                raise SystemExit(
-                                    f"NON-REPRODUCIBLE: {query_id} "
-                                    f"[{mode}] at {config} differs from "
-                                    f"{reference_config}"
+                            for budget in budgets:
+                                db = Database(
+                                    sum_mode=mode,
+                                    workers=worker_count,
+                                    morsel_size=morsel_size,
+                                    vectorized=vectorized,
+                                    join_build=build_side,
+                                    memory_budget=budget,
                                 )
+                                _load(db, source)
+                                payload = canonical_bytes(db.execute(sql))
+                                config = (
+                                    worker_count,
+                                    morsel_size,
+                                    vectorized,
+                                    build_side,
+                                    budget,
+                                )
+                                if reference is None:
+                                    reference = payload
+                                    reference_config = config
+                                elif payload != reference:
+                                    raise SystemExit(
+                                        f"NON-REPRODUCIBLE: {query_id} "
+                                        f"[{mode}] at {config} differs "
+                                        f"from {reference_config}"
+                                    )
             digest = hashlib.sha256(reference).hexdigest()
             lines.append(f"{query_id} {mode} {digest}")
     return lines
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--workers",
@@ -193,25 +246,31 @@ def main():
         default=os.environ.get("REPRO_DIGEST_BUILD_SIDES", "auto,left,right"),
         help="comma-separated hash-join build sides for the join legs",
     )
-    parser.add_argument("--out", default="repro_digest.txt")
-    args = parser.parse_args()
-    workers = [int(part) for part in args.workers.split(",") if part.strip()]
-    if not workers:
-        raise SystemExit("no worker counts given")
-    build_sides = tuple(
-        part.strip() for part in args.build_sides.split(",") if part.strip()
+    parser.add_argument(
+        "--memory-budgets",
+        default=os.environ.get("REPRO_DIGEST_MEMORY_BUDGETS", "unbounded"),
+        help=(
+            "comma-separated aggregation memory budgets in bytes to "
+            "sweep ('unbounded' disables spilling; 1 is the "
+            "pathological spill-every-morsel leg)"
+        ),
     )
-    if not build_sides:
-        raise SystemExit("no build sides given")
+    parser.add_argument("--out", default="repro_digest.txt")
+    args = parser.parse_args(argv)
+    workers = parse_workers(args.workers)
+    build_sides = parse_build_sides(args.build_sides)
+    budgets = parse_budgets(args.memory_budgets)
 
-    lines = digest_lines(workers, build_sides)
+    lines = digest_lines(workers, build_sides, budgets, QUERIES)
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write("\n".join(lines) + "\n")
     for line in lines:
         print(line)
     print(
         f"\nwrote {args.out} (workers swept: {workers}, "
-        f"build sides swept: {list(build_sides)})"
+        f"build sides swept: {list(build_sides)}, "
+        f"memory budgets swept: {list(budgets)}, "
+        f"tpch scale: {tpch_scale()})"
     )
     return 0
 

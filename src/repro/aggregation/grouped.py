@@ -389,6 +389,16 @@ class GroupedSummation:
         )
         self.ngroups = ngroups
 
+    def nbytes(self) -> int:
+        """Resident bytes of the per-group ladder arrays (the memory
+        the engine's budget accounting charges for one repro-sum
+        state)."""
+        per_level = sum(s.nbytes + c.nbytes for s, c in zip(self.s, self.c))
+        return (
+            self.e0.nbytes + per_level
+            + self.nan_cnt.nbytes + self.pos_cnt.nbytes + self.neg_cnt.nbytes
+        )
+
     def to_state(self, group: int) -> SummationState:
         """Extract one group as a scalar :class:`SummationState`."""
         state = SummationState(self.params)

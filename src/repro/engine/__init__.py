@@ -11,8 +11,9 @@ GROUP BY, and a SUM implementation selectable per session (``ieee`` /
 ``repro`` / ``repro_buffered`` / ``sorted``) plus the explicit
 ``RSUM(expr, L)`` aggregate the paper proposes in Section V-D.  In the
 repro modes the result bits are invariant under the ``workers``,
-``morsel_size`` and ``join_build`` execution knobs; in IEEE mode they
-may drift.
+``morsel_size``, ``join_build`` and ``memory_budget`` execution knobs
+(the latter via the out-of-core external aggregation of
+:mod:`repro.aggregation.external_agg`); in IEEE mode they may drift.
 """
 
 from .catalog import Catalog
@@ -42,7 +43,12 @@ from .pipeline import (
 )
 from .join import HashJoin
 from .optimizer import optimize
-from .physical import PhysicalQuery, plan_physical, render_physical
+from .physical import (
+    PhysicalQuery,
+    estimate_group_state_bytes,
+    plan_physical,
+    render_physical,
+)
 from .plan import BindError, bind_select, render_plan
 from .session import Database
 from .sql import SqlLexError, SqlParseError, parse, parse_expression, tokenize
@@ -94,6 +100,7 @@ __all__ = [
     "render_plan",
     "render_physical",
     "PhysicalQuery",
+    "estimate_group_state_bytes",
     "BindError",
     "HashJoin",
     "Batch",

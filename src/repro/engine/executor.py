@@ -324,10 +324,21 @@ def _run_grouped(query: PhysicalQuery, morsels: list[Batch], transform,
                  timings: OperatorTimings | None):
     aggregate = query.aggregate
     specs = aggregate.specs
-    key_arrays, results, ngroups = run_grouped_pipeline(
-        aggregate.group_exprs, specs, morsels, None, context, timings,
-        transform=transform, vectorized=aggregate.vectorized,
-    )
+    if aggregate.external:
+        # Out-of-core GROUP BY: radix partitions spill to disk under
+        # the session memory budget and re-merge exactly (imported
+        # lazily — most queries never need it).
+        from ..aggregation.external_agg import run_external_grouped_pipeline
+
+        key_arrays, results, ngroups = run_external_grouped_pipeline(
+            aggregate.group_exprs, specs, morsels, None, context, timings,
+            transform=transform, vectorized=aggregate.vectorized,
+        )
+    else:
+        key_arrays, results, ngroups = run_grouped_pipeline(
+            aggregate.group_exprs, specs, morsels, None, context, timings,
+            transform=transform, vectorized=aggregate.vectorized,
+        )
     agg_env = {spec.sql: arr for spec, arr in zip(specs, results)}
 
     # Environment for select items / HAVING: group-key expressions by

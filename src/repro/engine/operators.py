@@ -151,9 +151,20 @@ def _eval_values(arg: ast.Expr, batch: Batch) -> np.ndarray:
     return values
 
 
+#: Rough per-group cost of one key-table entry (dict slot + tuple), and
+#: per key member within the tuple — used by the memory-budget
+#: accounting of the external aggregation (order of magnitude is all
+#: the spill heuristics need).
+_KEY_BYTES_BASE = 64
+_KEY_BYTES_PER_COLUMN = 32
+
+
 class _CountState:
     def __init__(self):
         self.counts = np.zeros(0, dtype=np.int64)
+
+    def approx_bytes(self) -> int:
+        return self.counts.nbytes
 
     def update(self, batch: Batch, gids: np.ndarray, ngroups: int) -> None:
         self.counts = _grown(self.counts, ngroups)
@@ -182,6 +193,9 @@ class _PlainSumImpl:
 
     def empty_like(self):
         return _PlainSumImpl(self.sums.dtype, self.scale)
+
+    def approx_bytes(self) -> int:
+        return self.sums.nbytes
 
     def update(self, values, gids, ngroups):
         self.sums = _grown(self.sums, ngroups)
@@ -214,6 +228,9 @@ class _ReproSumImpl:
 
     def empty_like(self):
         return _ReproSumImpl(self._dtype, self._levels)
+
+    def approx_bytes(self) -> int:
+        return self.grouped.nbytes()
 
     def update(self, values, gids, ngroups):
         if self.grouped.ngroups < ngroups:
@@ -249,6 +266,9 @@ class _SortedSumImpl:
 
     def empty_like(self):
         return _SortedSumImpl(self.dtype)
+
+    def approx_bytes(self) -> int:
+        return sum(g.nbytes + v.nbytes for g, v in self.chunks)
 
     def update(self, values, gids, ngroups):
         if gids.size:
@@ -332,6 +352,9 @@ class _SumState:
             return np.zeros(ngroups, dtype=np.float64)
         return self.impl.finalize(ngroups)
 
+    def approx_bytes(self) -> int:
+        return 0 if self.impl is None else self.impl.approx_bytes()
+
 
 def canonical_float_bits(values: np.ndarray) -> np.ndarray:
     """Float array -> uint64 bit patterns under the engine's canonical
@@ -381,6 +404,10 @@ class _DistinctCountState:
     def __init__(self, arg: ast.Expr):
         self.arg = arg
         self.sets: list[set] = []
+        #: running total of set members, maintained incrementally so
+        #: :meth:`approx_bytes` is O(1) (budget accounting runs per
+        #: morsel)
+        self.member_count = 0
 
     def _grow(self, ngroups: int) -> None:
         while len(self.sets) < ngroups:
@@ -396,14 +423,20 @@ class _DistinctCountState:
         pairs = np.unique(gids.astype(np.int64) * base + codes)
         for pair in pairs.tolist():
             gid, code = divmod(pair, base)
-            self.sets[gid].add(members[code])
+            group = self.sets[gid]
+            before = len(group)
+            group.add(members[code])
+            self.member_count += len(group) - before
 
     def merge(self, other: "_DistinctCountState", mapping,
               ngroups: int) -> None:
         self._grow(ngroups)
         for gid, members in enumerate(other.sets):
             if members:
-                self.sets[mapping[gid]] |= members
+                target = self.sets[mapping[gid]]
+                before = len(target)
+                target |= members
+                self.member_count += len(target) - before
 
     def finalize(self, ngroups: int) -> np.ndarray:
         self._grow(ngroups)
@@ -411,6 +444,12 @@ class _DistinctCountState:
             [len(members) for members in self.sets[:ngroups]],
             dtype=np.int64,
         )
+
+    def approx_bytes(self) -> int:
+        # ~one set header per group plus ~64 bytes per member (slot +
+        # boxed value) — a deliberate over-estimate so budgets spill
+        # DISTINCT state early rather than late.
+        return 64 * len(self.sets) + 64 * self.member_count
 
 
 class _MinMaxState:
@@ -466,6 +505,10 @@ class _MinMaxState:
             raise ExprError(f"{self.name} over empty input")
         return self.extremes[:ngroups]
 
+    def approx_bytes(self) -> int:
+        extremes = 0 if self.extremes is None else self.extremes.nbytes
+        return extremes + self.seen.nbytes
+
 
 class _AvgState:
     def __init__(self, arg: ast.Expr, mode: str, levels: int):
@@ -484,6 +527,9 @@ class _AvgState:
         sums = self.sum.finalize(ngroups)
         counts = self.count.finalize(ngroups)
         return sums / np.maximum(counts, 1)
+
+    def approx_bytes(self):
+        return self.sum.approx_bytes() + self.count.approx_bytes()
 
 
 class _VarState:
@@ -520,6 +566,12 @@ class _VarState:
         if self.name.startswith("STDDEV"):
             return np.sqrt(variance)
         return variance
+
+    def approx_bytes(self):
+        return (
+            self.sum_x.approx_bytes() + self.sum_xx.approx_bytes()
+            + self.count.approx_bytes()
+        )
 
 
 _VAR_NAMES = ("VARIANCE", "VAR_SAMP", "VAR_POP", "STDDEV", "STDDEV_SAMP",
@@ -660,6 +712,16 @@ class PartialGroupTable:
     def ngroups(self) -> int:
         return len(self._keys)
 
+    def approx_bytes(self) -> int:
+        """Resident-memory estimate of this partial table: key registry
+        plus every aggregate state.  Used by the external aggregation's
+        budget accounting (:mod:`repro.aggregation.external_agg`); a
+        rough upper bound is all it needs."""
+        keys = self.ngroups * (
+            _KEY_BYTES_BASE + _KEY_BYTES_PER_COLUMN * len(self.group_exprs)
+        )
+        return keys + sum(state.approx_bytes() for state in self.states)
+
     # -- morsel consumption ------------------------------------------------
     def update(self, batch: Batch) -> None:
         gids = self._factorize(batch)
@@ -695,10 +757,9 @@ class PartialGroupTable:
         key_cols = self._decode_columns(
             dense_uniq, uniques, [len(uniq) for uniq in uniques]
         )
-        lut = np.empty(len(dense_uniq), dtype=np.int64)
-        for j in range(len(dense_uniq)):
-            key = tuple(col[j] for col in key_cols)
-            lut[j] = self._register(key)
+        lut = self._bulk_register(
+            list(zip(*[col.tolist() for col in key_cols]))
+        )
         return lut[morsel_gids.astype(np.int64)]
 
     @staticmethod
@@ -717,27 +778,61 @@ class PartialGroupTable:
         return key_cols
 
     def _register(self, key: tuple) -> int:
-        ident = _key_identity(key)
-        gid = self._key_to_gid.get(ident)
-        if gid is None:
-            gid = len(self._keys)
-            self._key_to_gid[ident] = gid
-            # Stored representative: identity form with the NaN value
-            # restored, so output keys are split-independent too.
-            self._keys.append(tuple(
-                orig if member is _NAN_KEY else member
-                for orig, member in zip(key, ident)
-            ))
-        return gid
+        """Register one key tuple (single-key convenience over
+        :meth:`_bulk_register`, which owns the identity logic)."""
+        return int(self._bulk_register([key])[0])
+
+    def _ident_is_key(self) -> bool:
+        """True when key tuples *are* their identity form — no float
+        key columns (the only dtype :func:`_key_identity` rewrites) and
+        no object columns (which may hold floats or None)."""
+        dtypes = self._key_dtypes
+        if dtypes is None or len(dtypes) != len(self.group_exprs):
+            return not self.group_exprs
+        return all(
+            dt is not None and np.dtype(dt).kind in "iubUSM"
+            for dt in dtypes
+        )
+
+    def _bulk_register(self, keys: list) -> np.ndarray:
+        """Register many key tuples at once; returns their gids.
+
+        The bulk paths (exact merge, spill-run restore) pay one
+        C-level dict sweep for the hits and only run Python-level work
+        for genuinely new keys — the difference between O(n) dict ops
+        and O(n) Python function calls matters when the external
+        aggregation re-merges thousands of groups per run file.
+        """
+        if self._ident_is_key():
+            idents = keys
+        else:
+            idents = [_key_identity(key) for key in keys]
+        table = self._key_to_gid
+        stored = self._keys
+        mapping = np.empty(len(keys), dtype=np.int64)
+        hits = list(map(table.get, idents))
+        fast = idents is keys
+        for g, gid in enumerate(hits):
+            if gid is None:
+                fresh = len(stored)
+                gid = table.setdefault(idents[g], fresh)
+                if gid == fresh:
+                    if fast:
+                        stored.append(keys[g])
+                    else:
+                        stored.append(tuple(
+                            orig if member is _NAN_KEY else member
+                            for orig, member in zip(keys[g], idents[g])
+                        ))
+            mapping[g] = gid
+        return mapping
 
     # -- exact merge -------------------------------------------------------
     def merge(self, other: "PartialGroupTable") -> None:
         """Fold a worker-local table in (exact for repro aggregates)."""
         if self._key_dtypes is None:
             self._key_dtypes = other._key_dtypes
-        mapping = np.empty(other.ngroups, dtype=np.int64)
-        for g, key in enumerate(other._keys):
-            mapping[g] = self._register(key)
+        mapping = self._bulk_register(other._keys)
         ngroups = self.ngroups
         for state, other_state in zip(self.states, other.states):
             state.merge(other_state, mapping, ngroups)

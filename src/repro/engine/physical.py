@@ -27,7 +27,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from . import pipeline as pipeline_mod
-from .operators import AggregateSpec, SumConfig
+from .operators import (
+    _KEY_BYTES_BASE,
+    _KEY_BYTES_PER_COLUMN,
+    AggregateSpec,
+    SumConfig,
+)
 from .plan import (
     Aggregate,
     Dual,
@@ -48,6 +53,7 @@ __all__ = [
     "PhysPipeline",
     "PhysAggregate",
     "PhysicalQuery",
+    "estimate_group_state_bytes",
     "plan_physical",
     "render_physical",
 ]
@@ -130,15 +136,30 @@ class PhysAggregate:
     group_exprs: tuple[ast.Expr, ...]
     specs: list[AggregateSpec]
     vectorized: bool
+    #: External (spill-to-disk) aggregation: chosen when the estimated
+    #: group state exceeds the session memory budget.  Repro-mode bits
+    #: are identical either way; this is purely an operator choice.
+    external: bool = False
+    spill_partitions: int = 0
+    memory_budget_bytes: int | None = None
+    est_state_bytes: int = 0
 
     def describe(self, workers: int, morsel_size: int) -> str:
         engine = "vectorized" if self.vectorized else "scalar"
         group = ", ".join(e.sql() for e in self.group_exprs)
         aggs = ", ".join(spec.sql for spec in self.specs)
         mode = "morsel-parallel" if workers > 1 else "serial"
+        extra = ""
+        if self.external:
+            extra = (
+                f", external(partitions={self.spill_partitions}, "
+                f"budget={self.memory_budget_bytes}B, "
+                f"~{self.est_state_bytes}B state)"
+            )
         return (
             f"Aggregate[{engine}, {mode}, workers={workers}, "
-            f"morsel_size={morsel_size}](group=[{group}], aggs=[{aggs}])"
+            f"morsel_size={morsel_size}{extra}]"
+            f"(group=[{group}], aggs=[{aggs}])"
         )
 
 
@@ -264,6 +285,32 @@ def plan_physical(root: LogicalNode, context,
         )
         vectorized = bool(context.vectorized and supported)
         aggregate = PhysAggregate(node.group_exprs, specs, vectorized)
+        budget = getattr(context, "memory_budget_bytes", None)
+        if budget is not None and node.group_exprs:
+            # External vs in-memory: worst-case group-state estimate
+            # (every input row a distinct group) against the budget.
+            # Over-estimating is cheap — the external operator without
+            # actual spills is just a partitioned in-memory aggregation.
+            # Global aggregates (no GROUP BY) never go external: with a
+            # single group there is no key partitioning to spill along,
+            # and the one state that grows with input cardinality —
+            # COUNT(DISTINCT) — would need value-partitioned spilling,
+            # which the operator does not implement; the budget is
+            # documented as covering grouped aggregation only.
+            from .optimizer import estimate_rows
+
+            est_groups = max(1, estimate_rows(node.child))
+            est_bytes = estimate_group_state_bytes(
+                est_groups, len(node.group_exprs), specs
+            )
+            if est_bytes > budget:
+                aggregate.external = True
+                aggregate.spill_partitions = getattr(
+                    context, "spill_partitions",
+                    pipeline_mod.ExecutionContext.DEFAULT_SPILL_PARTITIONS,
+                )
+                aggregate.memory_budget_bytes = budget
+                aggregate.est_state_bytes = est_bytes
         if vectorized:
             state.encode_wanted = {
                 expr.name for expr in node.group_exprs
@@ -294,6 +341,46 @@ def plan_physical(root: LogicalNode, context,
         workers=context.workers,
         morsel_size=context.morsel_size,
     )
+
+
+#: Per-group state-size model for the external-aggregation decision
+#: (rough, deliberately pessimistic — see plan_physical).  The key
+#: costs reuse the constants behind the runtime spill accounting
+#: (:meth:`~repro.engine.operators.PartialGroupTable.approx_bytes`),
+#: so the planner's estimate and the operator's budget checks cannot
+#: drift apart.
+_KEY_ENTRY_BYTES = _KEY_BYTES_BASE
+_KEY_COLUMN_BYTES = _KEY_BYTES_PER_COLUMN
+_DISTINCT_GROUP_BYTES = 96
+
+
+def _spec_state_bytes(spec: AggregateSpec) -> int:
+    """Worst-case resident bytes one group costs for one aggregate."""
+    name = spec.call.name
+    mode = spec.sum_config.mode
+    if name == "COUNT":
+        return _DISTINCT_GROUP_BYTES if spec.call.distinct else 8
+    repro = mode in ("repro", "repro_buffered")
+    # One rsum ladder: e0 + (s, c) per level + the three specials.
+    rsum_bytes = 8 + 16 * spec.levels + 24
+    if name in ("SUM", "RSUM"):
+        return rsum_bytes if (repro or name == "RSUM") else 8
+    if name == "AVG":
+        return (rsum_bytes if repro else 8) + 8
+    if name in ("MIN", "MAX"):
+        return 9
+    # VARIANCE/STDDEV family: two sums + a count.
+    return 2 * (rsum_bytes if repro else 8) + 8
+
+
+def estimate_group_state_bytes(est_groups: int, nkeys: int,
+                               specs: list[AggregateSpec]) -> int:
+    """Estimated resident bytes of a group table with ``est_groups``
+    groups — the quantity the planner holds against the session memory
+    budget when choosing external vs in-memory aggregation."""
+    per_group = _KEY_ENTRY_BYTES + _KEY_COLUMN_BYTES * nkeys
+    per_group += sum(_spec_state_bytes(spec) for spec in specs)
+    return est_groups * per_group
 
 
 def _dedup_specs(aggregates, sum_config: SumConfig) -> list[AggregateSpec]:

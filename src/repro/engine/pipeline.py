@@ -60,9 +60,20 @@ class ExecutionContext:
 
     JOIN_BUILD_SIDES = ("auto", "left", "right")
 
+    #: Default spill partition fan-out for the external aggregation —
+    #: enough to bound per-partition merge state, few enough that the
+    #: per-morsel split and per-partition update overhead stay small
+    #: (the Python pipeline pays a fixed NumPy dispatch cost per
+    #: sub-batch, so high fan-outs hurt more here than in the paper's
+    #: native engine).
+    DEFAULT_SPILL_PARTITIONS = 4
+
     def __init__(self, workers: int = 1,
                  morsel_size: int = DEFAULT_MORSEL_SIZE,
-                 vectorized: bool = True, join_build: str = "auto"):
+                 vectorized: bool = True, join_build: str = "auto",
+                 memory_budget_bytes: int | None = None,
+                 spill_partitions: int | None = None,
+                 spill_merge_fanin: int = 0):
         workers = int(workers)
         morsel_size = int(morsel_size)
         if workers < 1:
@@ -84,10 +95,109 @@ class ExecutionContext:
         #: cardinality.  In the repro sum modes the result bits are
         #: identical either way — the reproducibility CI sweeps this.
         self.join_build = join_build
+        #: Aggregation memory budget in bytes; ``None`` (or 0 through
+        #: the setters) means unbounded.  When set, the physical
+        #: planner chooses the external (spill-to-disk) GROUP BY for
+        #: plans whose estimated group state exceeds it, and the
+        #: operator spills partitions once resident partial tables pass
+        #: the budget.  In the repro sum modes the result bits are
+        #: invariant under this knob — the reproducibility CI sweeps it.
+        self.memory_budget_bytes = self._check_budget(memory_budget_bytes)
+        #: Radix partition fan-out of the external aggregation.
+        self.spill_partitions = self._check_partitions(
+            self.DEFAULT_SPILL_PARTITIONS if spill_partitions is None
+            else spill_partitions
+        )
+        #: Bounded fan-in for merging spilled runs (0 = unbounded, one
+        #: pass; >= 2 merges runs in groups of this size, re-spilling
+        #: intermediates — more passes, same bits).
+        self.spill_merge_fanin = self._check_fanin(spill_merge_fanin)
         #: Stats of the most recent pipeline run (set by the drivers).
         self.last_stats: PipelineStats | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._finalizer = None
+
+    # -- knob validation / SET surface ------------------------------------
+    @staticmethod
+    def _as_int(value, name: str) -> int:
+        """Coerce a knob value to int, rejecting fractional numbers
+        (silently truncating ``SET memory_budget_bytes = 1.5e6`` to
+        one byte would be a nasty surprise)."""
+        if isinstance(value, float) and not value.is_integer():
+            raise ValueError(f"{name} must be an integer, got {value!r}")
+        return int(value)
+
+    @classmethod
+    def _check_budget(cls, value) -> int | None:
+        if value is None:
+            return None
+        if isinstance(value, str):
+            if value.lower() in ("unbounded", "none"):
+                return None
+        value = cls._as_int(value, "memory budget")
+        if value < 0:
+            raise ValueError("memory budget must be >= 0 (0 = unbounded)")
+        return None if value == 0 else value
+
+    @classmethod
+    def _check_partitions(cls, value) -> int:
+        value = cls._as_int(value, "spill_partitions")
+        if value < 1:
+            raise ValueError("spill_partitions must be >= 1")
+        return value
+
+    @classmethod
+    def _check_fanin(cls, value) -> int:
+        value = cls._as_int(value, "spill_merge_fanin")
+        if value != 0 and value < 2:
+            raise ValueError(
+                "spill_merge_fanin must be 0 (unbounded) or >= 2"
+            )
+        return value
+
+    def set_param(self, name: str, value) -> None:
+        """Session ``SET`` surface: validate and apply one knob.
+
+        Accepted names: ``memory_budget_bytes`` (alias
+        ``memory_budget``; 0, NULL, or 'unbounded' clears it),
+        ``spill_partitions``, ``spill_merge_fanin``, ``workers``,
+        ``morsel_size``, ``vectorized``, ``join_build``.
+        """
+        key = name.lower()
+        if key in ("memory_budget_bytes", "memory_budget"):
+            self.memory_budget_bytes = self._check_budget(value)
+        elif key == "spill_partitions":
+            self.spill_partitions = self._check_partitions(value)
+        elif key == "spill_merge_fanin":
+            self.spill_merge_fanin = self._check_fanin(value)
+        elif key == "workers":
+            workers = self._as_int(value, "workers")
+            if workers < 1:
+                raise ValueError("workers must be >= 1")
+            if workers != self.workers and self._pool is not None:
+                # The pool's max_workers is fixed at creation; replace it.
+                if self._finalizer is not None:
+                    self._finalizer.detach()
+                    self._finalizer = None
+                self._pool.shutdown(wait=False)
+                self._pool = None
+            self.workers = workers
+        elif key == "morsel_size":
+            morsel_size = self._as_int(value, "morsel_size")
+            if morsel_size < 1:
+                raise ValueError("morsel_size must be >= 1")
+            self.morsel_size = morsel_size
+        elif key == "vectorized":
+            self.vectorized = bool(value)
+        elif key == "join_build":
+            side = str(value).lower()
+            if side not in self.JOIN_BUILD_SIDES:
+                raise ValueError(
+                    f"join_build must be one of {self.JOIN_BUILD_SIDES}"
+                )
+            self.join_build = side
+        else:
+            raise ValueError(f"unknown session parameter {name!r}")
 
     def pool(self) -> ThreadPoolExecutor:
         """The context's worker pool, created lazily and reused across
@@ -120,6 +230,15 @@ class PipelineStats:
         #: True when the grouped plan ran the batched kernels
         #: (:mod:`repro.engine.vectorized`) rather than the scalar path.
         self.vectorized = False
+        #: True when the external (spill-to-disk) aggregation ran; the
+        #: spill_* fields below are its accounting
+        #: (:mod:`repro.aggregation.external_agg`).
+        self.external = False
+        self.spill_partitions = 0
+        self.spilled_runs = 0
+        self.spilled_bytes = 0
+        self.merge_passes = 0
+        self.peak_resident_bytes = 0
 
     def critical_path(self) -> float:
         busiest = max(self.worker_busy) if self.worker_busy else 0.0

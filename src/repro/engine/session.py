@@ -39,6 +39,16 @@ class Database:
     sum mode; plans the kernels cannot express fall back to the scalar
     path automatically.
 
+    ``memory_budget`` (bytes; ``None`` = unbounded) caps aggregation
+    memory: plans whose estimated group state exceeds it run through
+    the out-of-core external GROUP BY
+    (:mod:`repro.aggregation.external_agg`), which spills radix
+    partitions of partial aggregate state to disk and re-merges them
+    exactly.  ``spill_partitions`` and ``spill_merge_fanin`` tune the
+    fan-out and merge-pass shape.  In the repro sum modes the result
+    bits are invariant under all three knobs; all are also settable at
+    runtime via ``SET <name> = <value>``.
+
     >>> db = Database(sum_mode="repro")
     >>> db.execute("CREATE TABLE r (i INT, f DOUBLE)")
     0
@@ -51,13 +61,33 @@ class Database:
     def __init__(self, sum_mode: str = "ieee", levels: int = 2,
                  buffer_size: int | None = None, workers: int = 1,
                  morsel_size: int = DEFAULT_MORSEL_SIZE,
-                 vectorized: bool = True, join_build: str = "auto"):
+                 vectorized: bool = True, join_build: str = "auto",
+                 memory_budget: int | None = None,
+                 spill_partitions: int | None = None,
+                 spill_merge_fanin: int = 0):
         self.catalog = Catalog()
         self.sum_config = SumConfig(sum_mode, levels, buffer_size)
         self.execution_context = ExecutionContext(
-            workers, morsel_size, vectorized, join_build
+            workers, morsel_size, vectorized, join_build,
+            memory_budget_bytes=memory_budget,
+            spill_partitions=spill_partitions,
+            spill_merge_fanin=spill_merge_fanin,
         )
         self.last_timings: OperatorTimings | None = None
+
+    @property
+    def memory_budget(self) -> int | None:
+        """Aggregation memory budget in bytes (``None`` = unbounded).
+
+        Settable here or via ``SET memory_budget_bytes = N``.  In the
+        repro sum modes result bits are invariant under this knob —
+        spilling is a pure performance trade, same as ``workers``.
+        """
+        return self.execution_context.memory_budget_bytes
+
+    @memory_budget.setter
+    def memory_budget(self, value) -> None:
+        self.execution_context.set_param("memory_budget_bytes", value)
 
     @property
     def last_pipeline_stats(self) -> PipelineStats | None:
@@ -91,6 +121,9 @@ class Database:
             return 0
         if isinstance(stmt, ast.DropTable):
             self.catalog.drop(stmt.name, stmt.if_exists)
+            return 0
+        if isinstance(stmt, ast.SetParam):
+            self.execution_context.set_param(stmt.name, stmt.value)
             return 0
         if isinstance(stmt, ast.Insert):
             return self._execute_insert(stmt)

@@ -32,6 +32,7 @@ __all__ = [
     "Update",
     "Delete",
     "DropTable",
+    "SetParam",
 ]
 
 
@@ -258,3 +259,16 @@ class Delete:
 class DropTable:
     name: str
     if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class SetParam:
+    """``SET <name> = <value>`` — session execution-knob pragma.
+
+    ``value`` is a Python literal (int, float, str, bool, or None);
+    validation happens in
+    :meth:`repro.engine.pipeline.ExecutionContext.set_param`.
+    """
+
+    name: str
+    value: object

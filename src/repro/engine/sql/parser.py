@@ -106,6 +106,8 @@ class _Parser:
             stmt = self.parse_delete()
         elif self.check_kw("DROP"):
             stmt = self.parse_drop()
+        elif self.check_kw("SET"):
+            stmt = self.parse_set()
         else:
             raise SqlParseError(f"unexpected start of statement: {self.peek()!r}")
         self.accept_op(";")
@@ -291,6 +293,32 @@ class _Parser:
         table = self.expect_ident()
         where = self.parse_expr() if self.accept_kw("WHERE") else None
         return ast.Delete(table, where)
+
+    def parse_set(self) -> ast.SetParam:
+        """``SET name = value`` — value is a literal, TRUE/FALSE/NULL,
+        or a bare identifier (e.g. ``SET join_build = left``,
+        ``SET memory_budget_bytes = unbounded``)."""
+        self.expect_kw("SET")
+        name = self.expect_ident()
+        self.expect_op("=")
+        tok = self.peek()
+        if tok.kind == "NUMBER":
+            return ast.SetParam(name, self.advance().value)
+        if tok.kind == "STRING":
+            return ast.SetParam(name, self.advance().value)
+        if tok.kind == "IDENT":
+            return ast.SetParam(name, self.advance().value)
+        if self.accept_kw("TRUE"):
+            return ast.SetParam(name, True)
+        if self.accept_kw("FALSE"):
+            return ast.SetParam(name, False)
+        if self.accept_kw("NULL"):
+            return ast.SetParam(name, None)
+        if tok.kind == "KEYWORD":
+            # Bare words that happen to be keywords (SET join_build =
+            # LEFT) read as their lower-cased string value.
+            return ast.SetParam(name, str(self.advance().value).lower())
+        raise SqlParseError(f"expected a SET value, found {tok!r}")
 
     def parse_drop(self) -> ast.DropTable:
         self.expect_kw("DROP")

@@ -297,6 +297,9 @@ class _VecSecondMomentState:
         self.sum_x.merge(other.sum_x, mapping, ngroups)
         self.sum_xx.merge(other.sum_xx, mapping, ngroups)
 
+    def approx_bytes(self) -> int:
+        return self.sum_x.approx_bytes() + self.sum_xx.approx_bytes()
+
 
 # ---------------------------------------------------------------------------
 # The vectorized group table
@@ -318,6 +321,10 @@ class VectorizedGroupTable(PartialGroupTable):
         self.states, self._spec_plan = self._build_plan(specs)
         self._lut: np.ndarray | None = None
         self._lut_bases: list[int] | None = None
+
+    def approx_bytes(self) -> int:
+        lut = 0 if self._lut is None else self._lut.nbytes
+        return super().approx_bytes() + lut
 
     # -- shared physical-state plan ---------------------------------------
     def _build_plan(self, specs: list[AggregateSpec]):
@@ -431,20 +438,17 @@ class VectorizedGroupTable(PartialGroupTable):
             if missing.any():
                 fresh = np.unique(combined[missing])
                 key_columns = self._decode_parts(fresh, parts)
-                for j, code in enumerate(fresh.tolist()):
-                    self._lut[code] = self._register(
-                        tuple(column[j] for column in key_columns)
-                    )
+                self._lut[fresh] = self._bulk_register(
+                    list(zip(*[col.tolist() for col in key_columns]))
+                )
                 gids = self._lut[combined]
             return gids
 
         dense, inverse = np.unique(combined, return_inverse=True)
-        lut = np.empty(dense.size, dtype=np.int64)
         key_columns = self._decode_parts(dense, parts)
-        for j in range(dense.size):
-            lut[j] = self._register(
-                tuple(column[j] for column in key_columns)
-            )
+        lut = self._bulk_register(
+            list(zip(*[col.tolist() for col in key_columns]))
+        )
         return lut[inverse.astype(np.int64, copy=False)]
 
     @classmethod

@@ -1,0 +1,43 @@
+"""On-disk storage formats for out-of-core execution.
+
+The engine's aggregation states merge *exactly* (the paper's
+horizontal-merge property), so partial aggregates can round-trip
+through disk without changing a single result bit.  This package holds
+the columnar spill format that makes that practical:
+:mod:`repro.storage.spill` serializes dictionary-encoded group keys
+plus every partial aggregate state — including the integer-canonical
+rsum ladders of :class:`~repro.core.state.SummationState` and
+:class:`~repro.aggregation.grouped.GroupedSummation` — into framed,
+checksummed run files that the external GROUP BY operator
+(:mod:`repro.aggregation.external_agg`) spills and re-merges.
+"""
+
+from .spill import (
+    SPILL_MAGIC,
+    SpillFormatError,
+    dump_buffered_repro,
+    dump_grouped_summation,
+    dump_summation_state,
+    dump_table,
+    load_buffered_repro,
+    load_grouped_summation,
+    load_summation_state,
+    load_table_into,
+    read_run_file,
+    write_run_file,
+)
+
+__all__ = [
+    "SPILL_MAGIC",
+    "SpillFormatError",
+    "dump_buffered_repro",
+    "dump_grouped_summation",
+    "dump_summation_state",
+    "dump_table",
+    "load_buffered_repro",
+    "load_grouped_summation",
+    "load_summation_state",
+    "load_table_into",
+    "read_run_file",
+    "write_run_file",
+]

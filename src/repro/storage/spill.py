@@ -1,0 +1,633 @@
+"""Columnar spill format for out-of-core aggregation.
+
+A *run file* holds one serialized partial group table: the group keys
+(dictionary-encoded per key column) plus every partial aggregate state
+— exact int64 quantum ladders for the repro sums
+(:class:`~repro.aggregation.grouped.GroupedSummation`), plain
+accumulator arrays for IEEE/integer sums, buffered raw pairs for the
+sorted mode, per-group value sets for COUNT(DISTINCT), and the
+MIN/MAX/COUNT arrays.  Because every one of those states merges
+*exactly* (or, for the sorted mode, canonicalises order at finalize),
+a table that round-trips through this format and is re-merged produces
+**bit-identical** results — which is what lets the external GROUP BY
+operator (:mod:`repro.aggregation.external_agg`) treat the memory
+budget as a pure performance knob.
+
+File layout::
+
+    MAGIC (8B) | payload length (u64 LE) | payload | crc32 (u32 LE) | END (8B)
+
+The payload is a self-describing tagged tree: scalars, strings,
+lists/tuples/dicts, and NumPy arrays stored as ``dtype.str`` plus raw
+little-endian bytes (so the IEEE bit patterns round-trip exactly on
+every architecture).  Object-dtype key dictionaries and DISTINCT value
+sets fall back to :mod:`pickle` frames — they hold plain Python values
+produced by this process, never untrusted input.
+
+Crash safety: a truncated or corrupted file fails the length, CRC, or
+end-marker check and raises :class:`SpillFormatError` — the engine
+never silently aggregates over half a run.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+
+import numpy as np
+
+from ..core.params import RsumParams
+from ..core.state import SummationState
+from ..fp.formats import format_by_name
+
+__all__ = [
+    "SPILL_MAGIC",
+    "SpillFormatError",
+    "dump_buffered_repro",
+    "dump_grouped_summation",
+    "dump_summation_state",
+    "dump_table",
+    "load_buffered_repro",
+    "load_grouped_summation",
+    "load_summation_state",
+    "load_table_into",
+    "read_run_file",
+    "write_run_file",
+]
+
+SPILL_MAGIC = b"RSPILL01"
+_END_MARK = b"RSPLEND."
+
+
+class SpillFormatError(ValueError):
+    """A spill run file is truncated, corrupted, or mis-shaped."""
+
+
+# ---------------------------------------------------------------------------
+# Tagged value codec
+# ---------------------------------------------------------------------------
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+# Precompiled structs: the codec runs once per spilled value, so the
+# struct-format parse is worth hoisting.
+_S_I64 = struct.Struct("<q")
+_S_F64 = struct.Struct("<d")
+_S_U16 = struct.Struct("<H")
+_S_U32 = struct.Struct("<I")
+_S_U64 = struct.Struct("<Q")
+
+
+def _encode(value, out: bytearray) -> None:
+    """Append one value's tagged encoding to ``out``."""
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, (int, np.integer)):
+        value = int(value)
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out += b"i" + _S_I64.pack(value)
+        else:
+            # Unbounded carry counters from the scalar SummationState.
+            raw = value.to_bytes(
+                (value.bit_length() + 8) // 8, "little", signed=True
+            )
+            out += b"I" + _S_U32.pack(len(raw)) + raw
+    elif isinstance(value, (float, np.floating)):
+        out += b"f" + _S_F64.pack(float(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += b"s" + _S_U32.pack(len(raw)) + raw
+    elif isinstance(value, bytes):
+        out += b"b" + _S_U32.pack(len(value)) + value
+    elif isinstance(value, np.ndarray):
+        if value.dtype == object:
+            raw = pickle.dumps(value.tolist(), protocol=4)
+            out += b"o" + _S_U32.pack(len(raw)) + raw
+        else:
+            little = value.astype(value.dtype.newbyteorder("<"), copy=False)
+            dts = little.dtype.str.encode("ascii")
+            raw = little.tobytes()
+            out += (
+                b"A"
+                + _S_U16.pack(len(dts))
+                + dts
+                + _S_U64.pack(len(raw))
+                + raw
+            )
+    elif isinstance(value, (set, frozenset)):
+        raw = pickle.dumps(set(value), protocol=4)
+        out += b"S" + _S_U32.pack(len(raw)) + raw
+    elif isinstance(value, tuple):
+        out += b"U" + _S_U32.pack(len(value))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, list):
+        out += b"L" + _S_U32.pack(len(value))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        out += b"D" + _S_U32.pack(len(value))
+        for key, item in value.items():
+            _encode(key, out)
+            _encode(item, out)
+    else:
+        raise TypeError(f"cannot spill-encode {type(value).__name__}")
+
+
+class _Reader:
+    def __init__(self, buf: bytes):
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.buf):
+            raise SpillFormatError("spill payload truncated mid-value")
+        piece = self.buf[self.pos : end]
+        self.pos = end
+        return piece
+
+    def unpack(self, s: struct.Struct):
+        (value,) = s.unpack(self.take(s.size))
+        return value
+
+    def decode(self):
+        tag = self.take(1)
+        if tag == b"N":
+            return None
+        if tag == b"T":
+            return True
+        if tag == b"F":
+            return False
+        if tag == b"i":
+            return self.unpack(_S_I64)
+        if tag == b"I":
+            raw = self.take(self.unpack(_S_U32))
+            return int.from_bytes(raw, "little", signed=True)
+        if tag == b"f":
+            return self.unpack(_S_F64)
+        if tag == b"s":
+            return self.take(self.unpack(_S_U32)).decode("utf-8")
+        if tag == b"b":
+            return self.take(self.unpack(_S_U32))
+        if tag == b"A":
+            dts = self.take(self.unpack(_S_U16)).decode("ascii")
+            raw = self.take(self.unpack(_S_U64))
+            try:
+                dtype = np.dtype(dts)
+            except TypeError as exc:
+                raise SpillFormatError(f"bad array dtype {dts!r}") from exc
+            if dtype.itemsize and len(raw) % dtype.itemsize:
+                raise SpillFormatError("array byte length not a dtype multiple")
+            arr = np.frombuffer(raw, dtype=dtype)
+            return arr.astype(dtype.newbyteorder("="), copy=True)
+        if tag == b"o":
+            items = self._unpickle(self.take(self.unpack(_S_U32)))
+            arr = np.empty(len(items), dtype=object)
+            for i, item in enumerate(items):
+                arr[i] = item
+            return arr
+        if tag == b"S":
+            return self._unpickle(self.take(self.unpack(_S_U32)))
+        if tag == b"U":
+            return tuple(self.decode() for _ in range(self.unpack(_S_U32)))
+        if tag == b"L":
+            return [self.decode() for _ in range(self.unpack(_S_U32))]
+        if tag == b"D":
+            count = self.unpack(_S_U32)
+            out = {}
+            for _ in range(count):
+                key = self.decode()
+                out[key] = self.decode()
+            return out
+        raise SpillFormatError(f"unknown spill value tag {tag!r}")
+
+    @staticmethod
+    def _unpickle(raw: bytes):
+        try:
+            return pickle.loads(raw)
+        except Exception as exc:  # truncated/corrupted pickle frame
+            raise SpillFormatError("corrupted object frame") from exc
+
+
+def _encode_payload(value) -> bytes:
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def _decode_payload(raw: bytes):
+    reader = _Reader(raw)
+    value = reader.decode()
+    if reader.pos != len(raw):
+        raise SpillFormatError("trailing bytes after spill payload")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Run-file framing
+# ---------------------------------------------------------------------------
+
+
+def write_run_file(path: str, payload: bytes) -> int:
+    """Write one framed, checksummed run file; returns bytes written."""
+    header = SPILL_MAGIC + struct.pack("<Q", len(payload))
+    footer = struct.pack("<I", zlib.crc32(payload)) + _END_MARK
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(payload)
+        handle.write(footer)
+    return len(header) + len(payload) + len(footer)
+
+
+def read_run_file(path: str) -> bytes:
+    """Read and verify one run file's payload (raises on any damage)."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    head = len(SPILL_MAGIC) + 8
+    if len(blob) < head or blob[: len(SPILL_MAGIC)] != SPILL_MAGIC:
+        raise SpillFormatError(f"{path}: not a spill run file")
+    (length,) = struct.unpack("<Q", blob[len(SPILL_MAGIC) : head])
+    expected = head + length + 4 + len(_END_MARK)
+    if len(blob) != expected:
+        raise SpillFormatError(
+            f"{path}: truncated run file "
+            f"({len(blob)} bytes, expected {expected})"
+        )
+    payload = blob[head : head + length]
+    (crc,) = struct.unpack("<I", blob[head + length : head + length + 4])
+    if blob[-len(_END_MARK) :] != _END_MARK:
+        raise SpillFormatError(f"{path}: missing end marker")
+    if zlib.crc32(payload) != crc:
+        raise SpillFormatError(f"{path}: payload checksum mismatch")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Core rsum state round-trips
+# ---------------------------------------------------------------------------
+
+
+def dump_grouped_summation(grouped) -> dict:
+    """Payload tree for a :class:`GroupedSummation` (exact)."""
+    return {
+        "fmt": grouped.params.fmt.name,
+        "levels": int(grouped.params.levels),
+        "w": int(grouped.params.w),
+        "ngroups": int(grouped.ngroups),
+        "e0": grouped.e0,
+        "s": list(grouped.s),
+        "c": list(grouped.c),
+        "nan": grouped.nan_cnt,
+        "pos": grouped.pos_cnt,
+        "neg": grouped.neg_cnt,
+    }
+
+
+def load_grouped_summation(data: dict):
+    from ..aggregation.grouped import GroupedSummation
+
+    try:
+        params = RsumParams(
+            format_by_name(data["fmt"]), data["levels"], data["w"]
+        )
+        grouped = GroupedSummation(params, int(data["ngroups"]))
+        levels = [np.asarray(level, dtype=np.int64) for level in data["s"]]
+        carries = [np.asarray(level, dtype=np.int64) for level in data["c"]]
+        if len(levels) != params.levels or len(carries) != params.levels:
+            raise SpillFormatError("level count mismatch in rsum payload")
+        grouped.e0 = np.asarray(data["e0"], dtype=np.int64)
+        grouped.s = levels
+        grouped.c = carries
+        grouped.nan_cnt = np.asarray(data["nan"], dtype=np.int64)
+        grouped.pos_cnt = np.asarray(data["pos"], dtype=np.int64)
+        grouped.neg_cnt = np.asarray(data["neg"], dtype=np.int64)
+        for arr in (
+            grouped.e0, grouped.nan_cnt, grouped.pos_cnt, grouped.neg_cnt,
+            *grouped.s, *grouped.c,
+        ):
+            if arr.shape != (grouped.ngroups,):
+                raise SpillFormatError("rsum array length mismatch")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SpillFormatError(f"bad GroupedSummation payload: {exc}") from exc
+    return grouped
+
+
+def dump_summation_state(state: SummationState) -> dict:
+    """Payload tree for a scalar :class:`SummationState` (exact,
+    including unbounded carry counters)."""
+    return {
+        "fmt": state.params.fmt.name,
+        "levels": int(state.params.levels),
+        "w": int(state.params.w),
+        "e0": state.e0,
+        "s": list(state.s),
+        "c": list(state.c),
+        "nan": int(state.nan_count),
+        "pos": int(state.posinf_count),
+        "neg": int(state.neginf_count),
+    }
+
+
+def load_summation_state(data: dict) -> SummationState:
+    try:
+        params = RsumParams(
+            format_by_name(data["fmt"]), data["levels"], data["w"]
+        )
+        state = SummationState(params)
+        if len(data["s"]) != params.levels or len(data["c"]) != params.levels:
+            raise SpillFormatError("level count mismatch in rsum payload")
+        state.e0 = None if data["e0"] is None else int(data["e0"])
+        state.s = [int(v) for v in data["s"]]
+        state.c = [int(v) for v in data["c"]]
+        state.nan_count = int(data["nan"])
+        state.posinf_count = int(data["pos"])
+        state.neginf_count = int(data["neg"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SpillFormatError(f"bad SummationState payload: {exc}") from exc
+    return state
+
+
+def dump_buffered_repro(buffered) -> dict:
+    """Payload tree for a :class:`BufferedReproFloat` (flushes first —
+    the buffer is a performance device, not state; RSUM's
+    batching-independence makes the flush bit-invisible)."""
+    buffered.flush()
+    return {
+        "buffer_size": int(buffered.buffer_size),
+        "state": dump_summation_state(buffered.accumulator.state),
+    }
+
+
+def load_buffered_repro(data: dict):
+    from ..core.buffer import BufferedReproFloat
+
+    try:
+        state = load_summation_state(data["state"])
+        buffered = BufferedReproFloat(
+            buffer_size=int(data["buffer_size"]), params=state.params
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SpillFormatError(f"bad buffered payload: {exc}") from exc
+    buffered.accumulator.state = state
+    return buffered
+
+
+# ---------------------------------------------------------------------------
+# Partial aggregate states (engine layer)
+# ---------------------------------------------------------------------------
+
+
+def _float_bits(col: np.ndarray) -> np.ndarray:
+    return col.view(np.uint32 if col.dtype == np.float32 else np.uint64)
+
+
+def _dump_key_column(col: np.ndarray) -> dict:
+    """Dictionary-encode one key column (exact, bit-preserving)."""
+    if col.dtype == object:
+        from ..engine.operators import factorize_object
+
+        codes, uniques = factorize_object(col)
+        return {"enc": "object", "codes": codes, "uniques": list(uniques)}
+    if col.dtype.kind == "f":
+        # Encode the raw bit patterns so every NaN payload and signed
+        # zero round-trips exactly (np.unique would conflate them).
+        uniques, codes = np.unique(_float_bits(col), return_inverse=True)
+        return {
+            "enc": "bits",
+            "dtype": col.dtype.str,
+            "codes": codes.astype(np.int64, copy=False),
+            "uniques": uniques,
+        }
+    uniques, codes = np.unique(col, return_inverse=True)
+    return {
+        "enc": "plain",
+        "dtype": col.dtype.str,
+        "codes": codes.astype(np.int64, copy=False),
+        "uniques": uniques,
+    }
+
+
+def _load_key_column(data: dict, ngroups: int) -> np.ndarray:
+    codes = np.asarray(data["codes"], dtype=np.int64)
+    if codes.shape != (ngroups,):
+        raise SpillFormatError("key code length mismatch")
+    if data["enc"] == "object":
+        out = np.empty(ngroups, dtype=object)
+        uniques = data["uniques"]
+        for i, code in enumerate(codes.tolist()):
+            out[i] = uniques[code]
+        return out
+    dtype = np.dtype(data["dtype"]).newbyteorder("=")
+    uniques = np.asarray(data["uniques"])
+    if data["enc"] == "bits":
+        return uniques[codes].view(dtype)
+    return uniques[codes].astype(dtype, copy=False)
+
+
+def _dump_sum_impl(impl) -> dict:
+    from ..engine import operators as ops
+
+    if impl is None:
+        return {"kind": "none"}
+    if isinstance(impl, ops._PlainSumImpl):
+        return {
+            "kind": "plain",
+            "dtype": impl.sums.dtype.str,
+            "scale": impl.scale,
+            "sums": impl.sums,
+        }
+    if isinstance(impl, ops._ReproSumImpl):
+        return {
+            "kind": "repro",
+            "dtype": np.dtype(impl._dtype).str,
+            "levels": int(impl._levels),
+            "grouped": dump_grouped_summation(impl.grouped),
+        }
+    if isinstance(impl, ops._SortedSumImpl):
+        return {
+            "kind": "sorted",
+            "dtype": impl.dtype.str,
+            "chunks": [list(chunk) for chunk in impl.chunks],
+        }
+    raise TypeError(f"cannot spill sum impl {type(impl).__name__}")
+
+
+def _load_sum_impl(data: dict):
+    from ..engine import operators as ops
+
+    kind = data.get("kind")
+    if kind == "none":
+        return None
+    if kind == "plain":
+        impl = ops._PlainSumImpl(np.dtype(data["dtype"]), data["scale"])
+        impl.sums = np.asarray(data["sums"])
+        return impl
+    if kind == "repro":
+        impl = ops._ReproSumImpl(
+            np.dtype(data["dtype"]).type, int(data["levels"])
+        )
+        impl.grouped = load_grouped_summation(data["grouped"])
+        return impl
+    if kind == "sorted":
+        impl = ops._SortedSumImpl(np.dtype(data["dtype"]))
+        impl.chunks = [
+            (np.asarray(gids, dtype=np.int64), np.asarray(values))
+            for gids, values in data["chunks"]
+        ]
+        return impl
+    raise SpillFormatError(f"unknown sum impl kind {kind!r}")
+
+
+def _dump_state(state) -> dict:
+    from ..engine import operators as ops
+    from ..engine import vectorized as vec
+
+    if isinstance(state, ops._SumState):  # includes _VecSumState
+        return {"tag": "sum", "impl": _dump_sum_impl(state.impl)}
+    if isinstance(state, ops._CountState):  # includes _VecCountState
+        return {"tag": "count", "counts": state.counts}
+    if isinstance(state, ops._DistinctCountState):
+        return {"tag": "distinct", "sets": [set(s) for s in state.sets]}
+    if isinstance(state, ops._MinMaxState):
+        return {
+            "tag": "minmax",
+            "extremes": state.extremes,
+            "seen": state.seen,
+        }
+    if isinstance(state, ops._AvgState):
+        return {
+            "tag": "avg",
+            "sum": _dump_state(state.sum),
+            "count": _dump_state(state.count),
+        }
+    if isinstance(state, ops._VarState):
+        return {
+            "tag": "var",
+            "sum_x": _dump_sum_impl(state.sum_x),
+            "sum_xx": _dump_sum_impl(state.sum_xx),
+            "count": _dump_state(state.count),
+        }
+    if isinstance(state, vec._VecSecondMomentState):
+        return {
+            "tag": "moment2",
+            "sum_x": _dump_sum_impl(state.sum_x),
+            "sum_xx": _dump_sum_impl(state.sum_xx),
+        }
+    raise TypeError(f"cannot spill aggregate state {type(state).__name__}")
+
+
+def _expect_tag(data: dict, tag: str) -> None:
+    if not isinstance(data, dict) or data.get("tag") != tag:
+        raise SpillFormatError(
+            f"state payload tag mismatch: wanted {tag!r}, "
+            f"got {data.get('tag') if isinstance(data, dict) else data!r}"
+        )
+
+
+def _load_state_into(state, data: dict) -> None:
+    from ..engine import operators as ops
+    from ..engine import vectorized as vec
+
+    if isinstance(state, ops._SumState):
+        _expect_tag(data, "sum")
+        state.impl = _load_sum_impl(data["impl"])
+    elif isinstance(state, ops._CountState):
+        _expect_tag(data, "count")
+        state.counts = np.asarray(data["counts"], dtype=np.int64)
+    elif isinstance(state, ops._DistinctCountState):
+        _expect_tag(data, "distinct")
+        state.sets = [set(s) for s in data["sets"]]
+        state.member_count = sum(len(s) for s in state.sets)
+    elif isinstance(state, ops._MinMaxState):
+        _expect_tag(data, "minmax")
+        extremes = data["extremes"]
+        state.extremes = None if extremes is None else np.asarray(extremes)
+        state.seen = np.asarray(data["seen"], dtype=bool)
+    elif isinstance(state, ops._AvgState):
+        _expect_tag(data, "avg")
+        _load_state_into(state.sum, data["sum"])
+        _load_state_into(state.count, data["count"])
+    elif isinstance(state, ops._VarState):
+        _expect_tag(data, "var")
+        state.sum_x = _load_sum_impl(data["sum_x"])
+        state.sum_xx = _load_sum_impl(data["sum_xx"])
+        _load_state_into(state.count, data["count"])
+    elif isinstance(state, vec._VecSecondMomentState):
+        _expect_tag(data, "moment2")
+        state.sum_x = _load_sum_impl(data["sum_x"])
+        state.sum_xx = _load_sum_impl(data["sum_xx"])
+    else:
+        raise TypeError(f"cannot restore state {type(state).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Partial group tables
+# ---------------------------------------------------------------------------
+
+
+def dump_table(table) -> bytes:
+    """Serialize one partial group table (scalar or vectorized) into
+    spill payload bytes."""
+    ngroups = table.ngroups
+    nkeys = len(table.group_exprs)
+    keys = []
+    for i in range(nkeys):
+        keys.append(_dump_key_column(table._key_column(i)))
+    payload = {
+        "version": 1,
+        "nkeys": nkeys,
+        "ngroups": ngroups,
+        "key_dtypes": (
+            None if table._key_dtypes is None
+            else [np.dtype(dt).str for dt in table._key_dtypes]
+        ),
+        "keys": keys,
+        "states": [_dump_state(state) for state in table.states],
+    }
+    return _encode_payload(payload)
+
+
+def load_table_into(payload: bytes, table) -> None:
+    """Restore a run's contents into ``table`` — a *freshly built* empty
+    table of the same class, group expressions, and aggregate specs as
+    the one that was dumped (the external operator guarantees this).
+
+    The table's key registry and state objects are filled in place, so
+    the result merges through the ordinary exact
+    :meth:`~repro.engine.operators.PartialGroupTable.merge`.
+    """
+    data = _decode_payload(payload)
+    if not isinstance(data, dict) or data.get("version") != 1:
+        raise SpillFormatError("unsupported spill payload version")
+    nkeys = data["nkeys"]
+    if nkeys != len(table.group_exprs):
+        raise SpillFormatError("group key arity mismatch")
+    if table.ngroups != (0 if nkeys else 1):
+        raise ValueError("load_table_into requires a fresh empty table")
+    ngroups = int(data["ngroups"])
+    if data["key_dtypes"] is not None:
+        table._key_dtypes = [
+            np.dtype(dt).newbyteorder("=") for dt in data["key_dtypes"]
+        ]
+    key_columns = [
+        _load_key_column(column, ngroups) for column in data["keys"]
+    ]
+    if nkeys:
+        keys = list(zip(*[column.tolist() for column in key_columns]))
+        mapping = table._bulk_register(keys)
+        if table.ngroups != ngroups or not np.array_equal(
+            mapping, np.arange(ngroups, dtype=np.int64)
+        ):
+            raise SpillFormatError("duplicate group key in spill payload")
+    states = data["states"]
+    if len(states) != len(table.states):
+        raise SpillFormatError("aggregate state count mismatch")
+    for state, state_data in zip(table.states, states):
+        _load_state_into(state, state_data)

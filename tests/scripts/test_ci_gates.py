@@ -1,0 +1,232 @@
+"""The CI gate scripts, tested like the production code they gate.
+
+``scripts/check_bench_regression.py`` and ``scripts/repro_digest.py``
+fail or pass every PR; a bug in either silently weakens the
+reproducibility and performance gates.  These tests cover the
+tolerance / floor / missing-kernel paths of the bench gate (including
+the ``$GITHUB_STEP_SUMMARY`` emission) and the env parsing + digest
+stability of the reproducibility gate.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SCRIPTS = pathlib.Path(__file__).resolve().parents[2] / "scripts"
+_CACHE = {}
+
+
+def _load(name):
+    if name not in _CACHE:
+        spec = importlib.util.spec_from_file_location(
+            f"ci_gate_{name}", _SCRIPTS / f"{name}.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        spec.loader.exec_module(module)
+        _CACHE[name] = module
+    return _CACHE[name]
+
+
+@pytest.fixture()
+def bench_gate():
+    return _load("check_bench_regression")
+
+
+@pytest.fixture()
+def digest():
+    return _load("repro_digest")
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+_BASELINE = {
+    "ns_per_element": {"kernel_a": 100.0, "kernel_b": 50.0},
+    "speedup_floors": {"fast_path": 2.0},
+}
+
+
+# ---------------------------------------------------------------------------
+# check_bench_regression
+# ---------------------------------------------------------------------------
+
+
+def test_bench_gate_passes_within_tolerance(bench_gate, tmp_path, capsys):
+    current = _write(tmp_path, "cur.json", {
+        "ns_per_element": {"kernel_a": 120.0, "kernel_b": 40.0},
+        "speedups": {"fast_path": 2.5},
+    })
+    baseline = _write(tmp_path, "base.json", _BASELINE)
+    assert bench_gate.main([current, baseline, "--tolerance", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "[ok] kernel_a" in out and "gate passed" in out
+
+
+def test_bench_gate_fails_beyond_tolerance(bench_gate, tmp_path, capsys):
+    current = _write(tmp_path, "cur.json", {
+        "ns_per_element": {"kernel_a": 130.0, "kernel_b": 40.0},
+        "speedups": {"fast_path": 2.5},
+    })
+    baseline = _write(tmp_path, "base.json", _BASELINE)
+    assert bench_gate.main([current, baseline, "--tolerance", "0.25"]) == 1
+    captured = capsys.readouterr()
+    assert "[FAIL] kernel_a" in captured.out
+    assert "exceeds" in captured.err
+    # A looser tolerance admits the same numbers.
+    assert bench_gate.main([current, baseline, "--tolerance", "0.5"]) == 0
+
+
+def test_bench_gate_missing_kernel_fails(bench_gate, tmp_path, capsys):
+    current = _write(tmp_path, "cur.json", {
+        "ns_per_element": {"kernel_a": 90.0},
+        "speedups": {"fast_path": 2.5},
+    })
+    baseline = _write(tmp_path, "base.json", _BASELINE)
+    assert bench_gate.main([current, baseline]) == 1
+    assert "kernel_b: missing" in capsys.readouterr().err
+
+
+def test_bench_gate_speedup_floor(bench_gate, tmp_path, capsys):
+    current = _write(tmp_path, "cur.json", {
+        "ns_per_element": {"kernel_a": 90.0, "kernel_b": 40.0},
+        "speedups": {"fast_path": 1.5},
+    })
+    baseline = _write(tmp_path, "base.json", _BASELINE)
+    assert bench_gate.main([current, baseline]) == 1
+    assert "below the 2.0x floor" in capsys.readouterr().err
+
+
+def test_bench_gate_missing_speedup_fails(bench_gate, tmp_path, capsys):
+    current = _write(tmp_path, "cur.json", {
+        "ns_per_element": {"kernel_a": 90.0, "kernel_b": 40.0},
+        "speedups": {},
+    })
+    baseline = _write(tmp_path, "base.json", _BASELINE)
+    assert bench_gate.main([current, baseline]) == 1
+    assert "speedup fast_path: missing" in capsys.readouterr().err
+
+
+def test_bench_gate_update_baseline(bench_gate, tmp_path):
+    current = _write(tmp_path, "cur.json", {
+        "ns_per_element": {"kernel_a": 90.0},
+        "speedups": {"fast_path": 2.5},
+    })
+    baseline = _write(tmp_path, "base.json", _BASELINE)
+    assert bench_gate.main([current, baseline, "--update-baseline"]) == 0
+    rewritten = json.loads(pathlib.Path(baseline).read_text())
+    assert rewritten["ns_per_element"] == {"kernel_a": 90.0}
+    # Floors are policy, not measurements: never rewritten.
+    assert rewritten["speedup_floors"] == {"fast_path": 2.0}
+
+
+def test_bench_gate_writes_step_summary(
+    bench_gate, tmp_path, monkeypatch, capsys
+):
+    summary = tmp_path / "summary.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    current = _write(tmp_path, "cur.json", {
+        "ns_per_element": {"kernel_a": 130.0, "kernel_b": 40.0},
+        "speedups": {"fast_path": 2.5},
+    })
+    baseline = _write(tmp_path, "base.json", _BASELINE)
+    assert bench_gate.main([current, baseline]) == 1
+    capsys.readouterr()
+    text = summary.read_text()
+    assert "## Bench regression gate" in text and "FAILED" in text
+    assert "| `kernel_a` | 130.0 | 100.0 |" in text
+    assert "| `fast_path` | 2.50x | 2.0x | ok |" in text
+
+
+def test_bench_gate_no_summary_without_env(bench_gate, monkeypatch):
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+    assert bench_gate.write_step_summary("# nope\n") is False
+
+
+# ---------------------------------------------------------------------------
+# repro_digest
+# ---------------------------------------------------------------------------
+
+
+def test_parse_budgets(digest):
+    assert digest.parse_budgets("unbounded") == (None,)
+    assert digest.parse_budgets("0") == (None,)
+    assert digest.parse_budgets("none") == (None,)
+    assert digest.parse_budgets("unbounded,65536, 1") == (None, 65536, 1)
+    with pytest.raises(SystemExit):
+        digest.parse_budgets("")
+    with pytest.raises(SystemExit):
+        digest.parse_budgets("lots")
+    with pytest.raises(SystemExit):
+        digest.parse_budgets("-4")
+
+
+def test_parse_workers_and_sides(digest):
+    assert digest.parse_workers("1, 2,4") == [1, 2, 4]
+    with pytest.raises(SystemExit):
+        digest.parse_workers(",")
+    with pytest.raises(SystemExit):
+        digest.parse_workers("0")
+    assert digest.parse_build_sides("auto,left") == ("auto", "left")
+    with pytest.raises(SystemExit):
+        digest.parse_build_sides("sideways")
+
+
+def test_tpch_scale_env_override(digest, monkeypatch):
+    monkeypatch.delenv("REPRO_DIGEST_TPCH_SCALE", raising=False)
+    assert digest.tpch_scale() == digest.DEFAULT_TPCH_SCALE
+    monkeypatch.setenv("REPRO_DIGEST_TPCH_SCALE", "0.02")
+    assert digest.tpch_scale() == 0.02
+
+
+def _edge_queries(digest):
+    return tuple(
+        entry for entry in digest.QUERIES if entry[0] == "edge_keys"
+    )
+
+
+def test_digest_stable_and_budget_invisible(digest):
+    """The digest file is the CI gate's currency: identical across
+    repeat runs AND across memory-budget sweeps (a leg spilling to
+    disk must hash to the same bytes as one that never spills)."""
+    queries = _edge_queries(digest)
+    unbounded = digest.digest_lines([1, 2], ("auto",), (None,), queries)
+    again = digest.digest_lines([1, 2], ("auto",), (None,), queries)
+    spilling = digest.digest_lines([1], ("auto",), (1,), queries)
+    assert unbounded == again
+    assert unbounded == spilling
+    assert len(unbounded) == len(digest.MODES)
+
+
+def test_digest_detects_non_reproducibility(digest, monkeypatch):
+    calls = {"n": 0}
+    real = digest.canonical_bytes
+
+    def flaky(result):
+        calls["n"] += 1
+        payload = real(result)
+        return payload + b"!" if calls["n"] % 2 else payload
+
+    monkeypatch.setattr(digest, "canonical_bytes", flaky)
+    with pytest.raises(SystemExit, match="NON-REPRODUCIBLE"):
+        digest.digest_lines([1], ("auto",), (None,), _edge_queries(digest))
+
+
+def test_digest_main_writes_file(digest, tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(digest, "QUERIES", _edge_queries(digest))
+    out = tmp_path / "digest.txt"
+    code = digest.main([
+        "--workers", "1", "--build-sides", "auto",
+        "--memory-budgets", "unbounded,1", "--out", str(out),
+    ])
+    assert code == 0
+    lines = out.read_text().strip().splitlines()
+    assert len(lines) == len(digest.MODES)
+    assert all(line.startswith("edge_keys ") for line in lines)
+    capsys.readouterr()

@@ -1,0 +1,269 @@
+"""Spill-format round trips: every partial aggregate state, bit for bit.
+
+The external aggregation's correctness rests on one property: a
+partial state that round-trips through the spill format and is
+re-merged produces the same bits as the state that never left memory.
+These tests pin that property per state type — including the
+NaN/-0.0/inf payloads the canonical float identity handles — plus the
+crash-safety contract: a damaged run file *raises*; it never feeds
+wrong bits downstream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.grouped import GroupedSummation
+from repro.core.buffer import BufferedReproFloat
+from repro.core.params import RsumParams
+from repro.core.state import SummationState
+from repro.engine import parse_expression
+from repro.engine.operators import (
+    AggregateSpec,
+    Batch,
+    PartialGroupTable,
+    SumConfig,
+)
+from repro.engine.types import DOUBLE, INT, VarcharType
+from repro.engine.vectorized import VectorizedGroupTable
+from repro.fp.formats import BINARY32, BINARY64
+from repro.storage.spill import (
+    SpillFormatError,
+    dump_buffered_repro,
+    dump_grouped_summation,
+    dump_summation_state,
+    dump_table,
+    load_buffered_repro,
+    load_grouped_summation,
+    load_summation_state,
+    load_table_into,
+    read_run_file,
+    write_run_file,
+)
+
+
+def _wide_values(rng, n):
+    values = (
+        rng.choice([-1.0, 1.0], size=n)
+        * rng.uniform(1.0, 2.0, size=n)
+        * np.exp2(rng.uniform(-40, 40, size=n))
+    )
+    values[::37] = 0.0
+    values[1::41] = -0.0
+    values[2::43] = np.nan
+    values[3::47] = np.inf
+    values[4::53] = -np.inf
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Core rsum states
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fmt", [BINARY64, BINARY32])
+def test_grouped_summation_round_trip(fmt):
+    rng = np.random.default_rng(11)
+    params = RsumParams(fmt, 3)
+    grouped = GroupedSummation(params, 17)
+    gids = rng.integers(0, 17, size=4000)
+    values = _wide_values(rng, 4000).astype(fmt.dtype)
+    grouped.add_pairs(gids, values)
+
+    clone = load_grouped_summation(dump_grouped_summation(grouped))
+    assert clone.state_tuples() == grouped.state_tuples()
+    ref = grouped.finalize()
+    got = clone.finalize()
+    assert ref.tobytes() == got.tobytes()
+
+
+def test_summation_state_round_trip_including_big_carries():
+    state = SummationState(RsumParams(BINARY64, 2))
+    state.add_array(_wide_values(np.random.default_rng(5), 2000))
+    # Unbounded Python-int carry counters must survive (the scalar
+    # state's counters cannot overflow, unlike the paper's floats).
+    state.c[0] += 2**80
+    clone = load_summation_state(dump_summation_state(state))
+    assert clone.state_tuple() == state.state_tuple()
+    assert clone.c[0] == state.c[0]
+
+
+def test_buffered_repro_round_trip():
+    buffered = BufferedReproFloat("double", levels=3, buffer_size=64)
+    buffered.append_array(_wide_values(np.random.default_rng(6), 500))
+    buffered.append(0.125)  # leave the buffer partially full
+    clone = load_buffered_repro(dump_buffered_repro(buffered))
+    assert clone.buffer_size == 64
+    assert clone.bits() == buffered.bits()
+
+
+# ---------------------------------------------------------------------------
+# Engine partial group tables (all aggregate states at once)
+# ---------------------------------------------------------------------------
+
+_AGG_SQL = (
+    "SUM(v)", "RSUM(v, 3)", "AVG(v)", "COUNT(*)", "COUNT(DISTINCT v)",
+    "MIN(v)", "MAX(v)", "STDDEV(v)", "VAR_POP(v)", "SUM(i)",
+)
+
+
+def _specs(mode):
+    config = SumConfig(mode)
+    return [
+        AggregateSpec(parse_expression(sql), config) for sql in _AGG_SQL
+    ]
+
+
+def _batch(rng, n=2000):
+    keys = rng.integers(0, 23, size=n).astype(np.float64)
+    keys[::11] = np.nan       # NaN group keys collapse to one group
+    keys[1::13] = -0.0        # ... and -0.0 joins the 0.0 group
+    labels = np.array(["a", "bb", "ccc"], dtype=object)[
+        rng.integers(0, 3, n)
+    ]
+    return Batch(
+        {
+            "k": keys,
+            "s": labels,
+            "v": _wide_values(rng, n),
+            "i": rng.integers(-50, 50, size=n),
+        },
+        {
+            "k": DOUBLE, "s": VarcharType(3), "v": DOUBLE, "i": INT,
+        },
+    )
+
+
+def _group_exprs():
+    return (parse_expression("k"), parse_expression("s"))
+
+
+def _finalized_bits(table):
+    key_arrays, results, ngroups = table.finalize()
+    pieces = [np.int64(ngroups).tobytes()]
+    for arr in list(key_arrays) + list(results):
+        arr = np.asarray(arr)
+        if arr.dtype == object:
+            pieces.append("|".join(map(repr, arr.tolist())).encode())
+        else:
+            pieces.append(arr.tobytes())
+    return tuple(pieces)
+
+
+@pytest.mark.parametrize("mode", ["repro", "ieee", "sorted"])
+@pytest.mark.parametrize(
+    "make_table", [PartialGroupTable, VectorizedGroupTable]
+)
+def test_table_round_trip_bit_identical(mode, make_table):
+    rng = np.random.default_rng(42)
+    specs = _specs(mode)
+    table = make_table(_group_exprs(), specs)
+    table.update(_batch(rng))
+
+    fresh = make_table(_group_exprs(), specs)
+    load_table_into(dump_table(table), fresh)
+    assert _finalized_bits(fresh) == _finalized_bits(table)
+
+
+@pytest.mark.parametrize("mode", ["repro", "sorted"])
+def test_round_trip_then_merge_matches_direct_merge(mode):
+    """Spilling one side of a merge must not change the merged bits."""
+    rng = np.random.default_rng(7)
+    batch_one, batch_two = _batch(rng), _batch(rng)
+
+    left = PartialGroupTable(_group_exprs(), _specs(mode))
+    right = PartialGroupTable(_group_exprs(), _specs(mode))
+    left.update(batch_one)
+    right.update(batch_two)
+    restored = PartialGroupTable(_group_exprs(), _specs(mode))
+    load_table_into(dump_table(right), restored)
+    left.merge(restored)
+
+    direct_left = PartialGroupTable(_group_exprs(), _specs(mode))
+    direct_right = PartialGroupTable(_group_exprs(), _specs(mode))
+    direct_left.update(batch_one)
+    direct_right.update(batch_two)
+    direct_left.merge(direct_right)
+
+    assert _finalized_bits(left) == _finalized_bits(direct_left)
+
+
+def test_global_aggregate_table_round_trip():
+    rng = np.random.default_rng(3)
+    specs = _specs("repro")
+    table = PartialGroupTable((), specs)
+    table.update(_batch(rng))
+    fresh = PartialGroupTable((), specs)
+    load_table_into(dump_table(table), fresh)
+    assert _finalized_bits(fresh) == _finalized_bits(table)
+
+
+def test_load_requires_fresh_table():
+    specs = _specs("repro")
+    table = PartialGroupTable(_group_exprs(), specs)
+    table.update(_batch(np.random.default_rng(1)))
+    payload = dump_table(table)
+    with pytest.raises(ValueError):
+        load_table_into(payload, table)  # not empty
+
+
+# ---------------------------------------------------------------------------
+# Run-file crash safety
+# ---------------------------------------------------------------------------
+
+
+def _run_file(tmp_path):
+    table = PartialGroupTable(_group_exprs(), _specs("repro"))
+    table.update(_batch(np.random.default_rng(9)))
+    path = str(tmp_path / "run.spill")
+    write_run_file(path, dump_table(table))
+    return path
+
+
+def test_run_file_round_trip(tmp_path):
+    path = _run_file(tmp_path)
+    fresh = PartialGroupTable(_group_exprs(), _specs("repro"))
+    load_table_into(read_run_file(path), fresh)
+    assert fresh.ngroups > 0
+
+
+@pytest.mark.parametrize("keep", [0, 4, 10, 100, -1, -9])
+def test_truncated_run_file_raises(tmp_path, keep):
+    """A crash mid-write must raise, never return wrong bits."""
+    path = _run_file(tmp_path)
+    blob = open(path, "rb").read()
+    truncated = blob[:keep] if keep >= 0 else blob[:keep]
+    with open(path, "wb") as handle:
+        handle.write(truncated)
+    with pytest.raises(SpillFormatError):
+        read_run_file(path)
+
+
+def test_corrupted_payload_raises(tmp_path):
+    path = _run_file(tmp_path)
+    blob = bytearray(open(path, "rb").read())
+    blob[len(blob) // 2] ^= 0xFF  # flip one payload bit
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+    with pytest.raises(SpillFormatError):
+        read_run_file(path)
+
+
+def test_wrong_magic_raises(tmp_path):
+    path = str(tmp_path / "bogus.spill")
+    with open(path, "wb") as handle:
+        handle.write(b"NOTASPILLFILE")
+    with pytest.raises(SpillFormatError):
+        read_run_file(path)
+
+
+def test_state_payload_tag_mismatch_raises():
+    table = PartialGroupTable(_group_exprs(), _specs("repro"))
+    table.update(_batch(np.random.default_rng(2)))
+    payload = dump_table(table)
+    # Restoring into a table whose specs disagree must fail loudly.
+    wrong = PartialGroupTable(
+        _group_exprs(),
+        [AggregateSpec(parse_expression("MIN(v)"), SumConfig("repro"))],
+    )
+    with pytest.raises(SpillFormatError):
+        load_table_into(payload, wrong)

@@ -55,6 +55,62 @@ JOIN_EDGE_QUERY = (
     "COUNT(DISTINCT v) AS dv, COUNT(*) AS c "
     "FROM jl, jr WHERE jl.k = jr.k GROUP BY jl.k ORDER BY k"
 )
+VIEW_QUERY = (
+    "SELECT k, SUM(v) AS sv, COUNT(*) AS c, AVG(v) AS av, "
+    "RSUM(v, 3) AS rv, COUNT(DISTINCT v) AS dv "
+    "FROM vm GROUP BY k ORDER BY k"
+)
+
+
+def _view_maintenance(db):
+    """The view-maintenance leg: replay a seeded interleaving of
+    INSERT / DELETE / REFRESH against a materialized view, assert the
+    final served result is byte-identical to the from-scratch base
+    scan over the same table, and return it for the digest.
+
+    The interleaving is deterministic, so every matrix leg — any
+    workers / morsel_size / vectorized / memory_budget / OS / Python —
+    must digest identically.
+    """
+    rng = np.random.default_rng(20180418)
+    db.execute("CREATE TABLE vm (k INT, v DOUBLE)")
+    db.execute(
+        "CREATE MATERIALIZED VIEW vm_agg AS "
+        "SELECT k, SUM(v) AS sv, COUNT(*) AS c, AVG(v) AS av, "
+        "RSUM(v, 3) AS rv, COUNT(DISTINCT v) AS dv FROM vm GROUP BY k"
+    )
+    table = db.table("vm")
+    for _ in range(14):
+        action = rng.random()
+        if action < 0.6 or len(table) < 20:
+            count = int(rng.integers(5, 60))
+            keys = rng.integers(0, 9, size=count)
+            values = rng.choice([-1.0, 1.0], size=count) * np.exp2(
+                rng.uniform(-45, 45, size=count)
+            )
+            values[rng.random(count) < 0.04] = np.nan
+            values[rng.random(count) < 0.04] = np.inf
+            values[rng.random(count) < 0.04] = -0.0
+            table.insert_rows(
+                [{"k": int(k), "v": float(v)} for k, v in zip(keys, values)]
+            )
+        else:
+            key = int(rng.integers(0, 9))
+            db.execute(f"DELETE FROM vm WHERE k = {key}")
+        if rng.random() < 0.35:
+            db.execute("REFRESH MATERIALIZED VIEW vm_agg")
+    db.execute("REFRESH MATERIALIZED VIEW vm_agg")
+    if "ViewScan(vm_agg" not in db.explain(VIEW_QUERY):
+        raise SystemExit("view_maintenance: fresh view was not matched")
+    served = db.execute(VIEW_QUERY)
+    db.execute("DROP MATERIALIZED VIEW vm_agg")
+    scratch = db.execute(VIEW_QUERY)
+    if canonical_bytes(served) != canonical_bytes(scratch):
+        raise SystemExit(
+            "NON-REPRODUCIBLE: view_maintenance served result differs "
+            "from the from-scratch recomputation"
+        )
+    return served
 
 
 def tpch_scale() -> float:
@@ -86,6 +142,8 @@ def _edge_data():
 
 
 def _load(db, which):
+    if which is None:
+        return
     if which == "tpch":
         load_tpch(db, scale_factor=tpch_scale())
         return
@@ -128,7 +186,10 @@ def _load(db, which):
     db.table("edge").bulk_load({"k": keys.tolist(), "v": values.tolist()})
 
 
-#: (query_id, data source, SQL, sweeps join build sides?)
+#: (query_id, data source, SQL or callable(db) -> result, sweeps join
+#: build sides?).  Callables own their data loading and DML replay
+#: (``source`` is ``None``) — the view_maintenance leg interleaves
+#: INSERT/DELETE/REFRESH and digests the served view contents.
 QUERIES = (
     ("tpch_q1", "tpch", Q1_SQL, False),
     ("tpch_q6", "tpch", Q6_SQL, False),
@@ -136,6 +197,7 @@ QUERIES = (
     ("mixed_aggs", "mixed", MIXED_QUERY, False),
     ("edge_keys", "edge", EDGE_QUERY, False),
     ("join_edge_keys", "join_edge", JOIN_EDGE_QUERY, True),
+    ("view_maintenance", None, _view_maintenance, False),
 )
 
 
@@ -212,7 +274,11 @@ def digest_lines(workers, build_sides, budgets=(None,), queries=QUERIES):
                                     memory_budget=budget,
                                 )
                                 _load(db, source)
-                                payload = canonical_bytes(db.execute(sql))
+                                if callable(sql):
+                                    result = sql(db)
+                                else:
+                                    result = db.execute(sql)
+                                payload = canonical_bytes(result)
                                 config = (
                                     worker_count,
                                     morsel_size,

@@ -17,6 +17,7 @@ from .accumulators import (
 )
 from .api import group_sum
 from .grouped import GroupedSummation
+from .retractable import RetractableGroupedSummation
 from .hash_agg import group_ids, hash_aggregate
 from .hash_table import FIB_MULTIPLIER, HashTable, dense_group_ids
 from .partition import (
@@ -51,6 +52,7 @@ __all__ = [
     "spec_from_options",
     "group_sum",
     "GroupedSummation",
+    "RetractableGroupedSummation",
     "hash_aggregate",
     "group_ids",
     "HashTable",

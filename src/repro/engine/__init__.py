@@ -17,7 +17,12 @@ repro modes the result bits are invariant under the ``workers``,
 """
 
 from .catalog import Catalog
-from .executor import QueryResult, execute_select, explain_select
+from .executor import (
+    QueryResult,
+    compute_grouped_arrays,
+    execute_select,
+    explain_select,
+)
 from .expr import (
     ExprCache,
     ExprError,
@@ -42,6 +47,12 @@ from .pipeline import (
     run_projection_pipeline,
 )
 from .join import HashJoin
+from .matview import (
+    MaintenanceGroupTable,
+    MaterializedView,
+    ViewDefinitionError,
+    match_view,
+)
 from .optimizer import optimize
 from .physical import (
     PhysicalQuery,
@@ -92,6 +103,7 @@ __all__ = [
     "Schema",
     "Column",
     "QueryResult",
+    "compute_grouped_arrays",
     "execute_select",
     "explain_select",
     "bind_select",
@@ -103,6 +115,10 @@ __all__ = [
     "estimate_group_state_bytes",
     "BindError",
     "HashJoin",
+    "MaterializedView",
+    "MaintenanceGroupTable",
+    "ViewDefinitionError",
+    "match_view",
     "Batch",
     "GroupByOp",
     "SumConfig",

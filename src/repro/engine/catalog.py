@@ -1,4 +1,4 @@
-"""Table catalog."""
+"""Table + materialized-view catalog."""
 
 from __future__ import annotations
 
@@ -9,15 +9,20 @@ __all__ = ["Catalog"]
 
 
 class Catalog:
-    """Named tables of one database."""
+    """Named tables and materialized views of one database."""
 
     def __init__(self):
         self._tables: dict[str, Table] = {}
+        #: view name -> MaterializedView (:mod:`repro.engine.matview`)
+        self._views: dict[str, object] = {}
 
+    # -- tables ------------------------------------------------------------
     def create_table(self, name: str, columns: list[tuple[str, object]]) -> Table:
         low = name.lower()
         if low in self._tables:
             raise ValueError(f"table {name!r} already exists")
+        if low in self._views:
+            raise ValueError(f"{name!r} names a materialized view")
         resolved = []
         for col_name, sql_type in columns:
             if isinstance(sql_type, str):
@@ -30,6 +35,8 @@ class Catalog:
     def add(self, table: Table) -> None:
         if table.name in self._tables:
             raise ValueError(f"table {table.name!r} already exists")
+        if table.name in self._views:
+            raise ValueError(f"{table.name!r} names a materialized view")
         self._tables[table.name] = table
 
     def get(self, name: str) -> Table:
@@ -41,6 +48,15 @@ class Catalog:
     def drop(self, name: str, if_exists: bool = False) -> bool:
         low = name.lower()
         if low in self._tables:
+            dependents = [
+                view.name for view in self._views.values()
+                if view.table_name == low
+            ]
+            if dependents:
+                raise ValueError(
+                    f"table {name!r} has dependent materialized views: "
+                    + ", ".join(sorted(dependents))
+                )
             del self._tables[low]
             return True
         if not if_exists:
@@ -52,3 +68,40 @@ class Catalog:
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._tables
+
+    # -- materialized views ------------------------------------------------
+    def create_view(self, view) -> None:
+        if view.name in self._views:
+            raise ValueError(
+                f"materialized view {view.name!r} already exists"
+            )
+        if view.name in self._tables:
+            raise ValueError(f"{view.name!r} names a table")
+        self._views[view.name] = view
+
+    def get_view(self, name: str):
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise KeyError(f"no materialized view {name!r}") from None
+
+    def drop_view(self, name: str, if_exists: bool = False) -> bool:
+        low = name.lower()
+        if low in self._views:
+            del self._views[low]
+            return True
+        if not if_exists:
+            raise KeyError(f"no materialized view {name!r}")
+        return False
+
+    def view_names(self) -> list[str]:
+        return sorted(self._views)
+
+    def views_on(self, table_name: str) -> list:
+        """Views maintained over ``table_name`` (the planner's
+        view-matching lookup), in name order for determinism."""
+        low = table_name.lower()
+        return [
+            self._views[name] for name in sorted(self._views)
+            if self._views[name].table_name == low
+        ]

@@ -46,7 +46,12 @@ from .plan import bind_select, render_plan
 from .sql import ast
 from .types import SqlType
 
-__all__ = ["QueryResult", "execute_select", "explain_select"]
+__all__ = [
+    "QueryResult",
+    "compute_grouped_arrays",
+    "execute_select",
+    "explain_select",
+]
 
 
 class QueryResult:
@@ -98,16 +103,29 @@ def _to_python(value):
 
 
 def _plan(stmt: ast.Select, get_table, sum_config: SumConfig,
-          context: ExecutionContext):
+          context: ExecutionContext, views=None):
+    """Bind, optimize, and lower one SELECT.
+
+    ``views`` (optional) is a ``table_name -> [MaterializedView]``
+    lookup; when a fresh view matches the optimized aggregate plan the
+    query is lowered onto a ``ViewScan`` instead of a base-table
+    pipeline.
+    """
     logical = optimize(bind_select(stmt, get_table))
+    if views is not None:
+        from .matview import match_view, plan_view_scan
+
+        view = match_view(logical, views, sum_config)
+        if view is not None:
+            return logical, plan_view_scan(logical, view, context)
     physical = plan_physical(logical, context, sum_config)
     return logical, physical
 
 
 def explain_select(stmt: ast.Select, get_table, sum_config: SumConfig,
-                   context: ExecutionContext) -> str:
+                   context: ExecutionContext, views=None) -> str:
     """EXPLAIN text: optimized logical plan + chosen physical plan."""
-    logical, physical = _plan(stmt, get_table, sum_config, context)
+    logical, physical = _plan(stmt, get_table, sum_config, context, views)
     return (
         "== optimized logical plan ==\n"
         + render_plan(logical)
@@ -122,11 +140,12 @@ def execute_select(
     sum_config: SumConfig,
     timings: OperatorTimings | None = None,
     context: ExecutionContext | None = None,
+    views=None,
 ) -> QueryResult:
     """Run a SELECT against the catalog accessor ``get_table``."""
     if context is None:
         context = ExecutionContext()
-    _, physical = _plan(stmt, get_table, sum_config, context)
+    _, physical = _plan(stmt, get_table, sum_config, context, views)
     return _run_physical(physical, context, timings)
 
 
@@ -256,16 +275,31 @@ def _build_join(op: PhysProbe, context: ExecutionContext,
 
 def _run_physical(query: PhysicalQuery, context: ExecutionContext,
                   timings: OperatorTimings | None) -> QueryResult:
-    morsels, transform = _instantiate(query.pipeline, context, timings)
-
-    if query.aggregate is not None:
-        names, arrays = _run_grouped(query, morsels, transform, context,
-                                     timings)
-    else:
-        names, arrays = run_projection_pipeline(
-            query.items, morsels, None, context, timings,
-            transform=transform,
+    if query.view_scan is not None:
+        # Serve from the matched materialized view's finalized state —
+        # no base-table scan, no aggregation.
+        view = query.view_scan.view
+        names, arrays = _finish_grouped(
+            query, view.key_arrays, dict(view.agg_results), view.ngroups
         )
+    else:
+        morsels, transform = _instantiate(query.pipeline, context, timings)
+        if query.aggregate is not None:
+            key_arrays, results, ngroups = _grouped_arrays(
+                query, morsels, transform, context, timings
+            )
+            agg_env = {
+                spec.sql: arr
+                for spec, arr in zip(query.aggregate.specs, results)
+            }
+            names, arrays = _finish_grouped(
+                query, key_arrays, agg_env, ngroups
+            )
+        else:
+            names, arrays = run_projection_pipeline(
+                query.items, morsels, None, context, timings,
+                transform=transform,
+            )
 
     out_types: list[SqlType | None] = [None] * len(names)
     for i, item in enumerate(query.items):
@@ -319,9 +353,10 @@ def _order_key(order_item: ast.OrderItem, items, env: dict):
     return arr
 
 
-def _run_grouped(query: PhysicalQuery, morsels: list[Batch], transform,
-                 context: ExecutionContext,
-                 timings: OperatorTimings | None):
+def _grouped_arrays(query: PhysicalQuery, morsels: list[Batch], transform,
+                    context: ExecutionContext,
+                    timings: OperatorTimings | None):
+    """Run the aggregate sink: ``(key_arrays, result_arrays, ngroups)``."""
     aggregate = query.aggregate
     specs = aggregate.specs
     if aggregate.external:
@@ -330,22 +365,39 @@ def _run_grouped(query: PhysicalQuery, morsels: list[Batch], transform,
         # lazily — most queries never need it).
         from ..aggregation.external_agg import run_external_grouped_pipeline
 
-        key_arrays, results, ngroups = run_external_grouped_pipeline(
+        return run_external_grouped_pipeline(
             aggregate.group_exprs, specs, morsels, None, context, timings,
             transform=transform, vectorized=aggregate.vectorized,
         )
-    else:
-        key_arrays, results, ngroups = run_grouped_pipeline(
-            aggregate.group_exprs, specs, morsels, None, context, timings,
-            transform=transform, vectorized=aggregate.vectorized,
-        )
-    agg_env = {spec.sql: arr for spec, arr in zip(specs, results)}
+    return run_grouped_pipeline(
+        aggregate.group_exprs, specs, morsels, None, context, timings,
+        transform=transform, vectorized=aggregate.vectorized,
+    )
 
+
+def compute_grouped_arrays(query: PhysicalQuery, context: ExecutionContext,
+                           timings: OperatorTimings | None = None):
+    """Drive one physical aggregate query up to (but not through) the
+    finishing stages: ``(key_arrays, result_arrays, ngroups)``.
+
+    Used by full-recompute materialized-view refresh
+    (:mod:`repro.engine.matview`), which stores the raw aggregate
+    state rather than the projected output.
+    """
+    morsels, transform = _instantiate(query.pipeline, context, timings)
+    return _grouped_arrays(query, morsels, transform, context, timings)
+
+
+def _finish_grouped(query: PhysicalQuery, key_arrays, agg_env: dict,
+                    ngroups: int):
+    """The grouped finishing stages: HAVING + output projection over
+    the gathered per-group arrays (shared by the pipeline path and the
+    ViewScan path)."""
     # Environment for select items / HAVING: group-key expressions by
     # their SQL text, aggregates via agg_env.
     key_env: dict[str, np.ndarray] = {}
     types = query.column_types
-    for expr, arr in zip(aggregate.group_exprs, key_arrays):
+    for expr, arr in zip(query.group_exprs, key_arrays):
         key_env[expr.sql()] = arr
         if isinstance(expr, ast.ColumnRef):
             key_env[expr.name] = arr

@@ -1,0 +1,440 @@
+"""Incrementally-maintained reproducible materialized aggregate views.
+
+The paper's exact-merge property has a corollary it highlights for
+pre-aggregation: because partial aggregate states merge *exactly*,
+they also subtract exactly, so a materialized ``GROUP BY`` can be kept
+up to date by **merging** the partial states of inserted rows and
+**retracting** those of deleted rows — and the refreshed view is
+byte-identical to recomputing it from scratch, under any
+``workers x morsel_size x vectorized x memory_budget`` configuration.
+
+The pieces:
+
+* :class:`MaintenanceGroupTable` — a :class:`PartialGroupTable` whose
+  per-aggregate states are built in retractable form (full-grid rsum
+  ladders, int64 counts/sums, refcounted DISTINCT sets) plus a
+  per-group live-row count that drives *empty-group elimination*: a
+  group whose COUNT(*) reaches zero disappears from the view, exactly
+  as it would from a fresh query.
+* :class:`MaterializedView` — the catalog object: the bound + optimized
+  definition, the maintenance state, the consumed row-version
+  watermark, and the finalized contents served to matching queries.
+* :func:`match_view` / :func:`plan_view_scan` — the planner rewrite:
+  an aggregate query whose (table, predicate, group keys) equal a
+  *fresh* view's and whose aggregates are a subset of the view's is
+  answered from the finalized view state, rendered in ``EXPLAIN`` as
+  ``ViewScan``.  Stale views (or sessions whose SUM configuration
+  changed) fall back to the base scan.
+
+Views whose aggregates cannot retract exactly — MIN/MAX, or the
+ieee/sorted SUM family, where float subtraction leaves residue — are
+kept in ``full`` maintenance mode: ``REFRESH`` recomputes them through
+the regular query pipeline instead of applying the delta.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .operators import Batch, PartialGroupTable, SumConfig, _CountState
+from .optimizer import optimize
+from .physical import (
+    PhysicalQuery,
+    PhysViewScan,
+    _dedup_specs,
+    plan_physical,
+)
+from .pipeline import ExecutionContext, apply_where
+from .plan import (
+    Aggregate,
+    Filter,
+    Limit,
+    LogicalNode,
+    Project,
+    Scan,
+    Sort,
+    bind_select,
+    plan_column_types,
+)
+from .sql import ast
+
+__all__ = [
+    "ViewDefinitionError",
+    "MaintenanceGroupTable",
+    "MaterializedView",
+    "match_view",
+    "plan_view_scan",
+]
+
+
+class ViewDefinitionError(ValueError):
+    """The SELECT cannot define an incrementally-maintainable view."""
+
+
+# ---------------------------------------------------------------------------
+# Maintenance state
+# ---------------------------------------------------------------------------
+
+
+class MaintenanceGroupTable(PartialGroupTable):
+    """Group table with retractable aggregate states + live-row counts.
+
+    ``update`` consumes inserted-row batches, ``retract`` consumes
+    deleted-row batches; both are exact, so any interleaving over the
+    same live multiset lands on the same bytes.  ``finalize_live``
+    additionally drops groups whose live-row count is zero, which is
+    what makes the view contents byte-identical to a from-scratch
+    recomputation (a fresh query never sees the vanished group).
+    """
+
+    def __init__(self, group_exprs, specs):
+        super().__init__(group_exprs, specs)
+        self.states = [spec.make_state(retractable=True) for spec in specs]
+        #: live rows per group (the empty-group elimination driver)
+        self.row_counts = _CountState()
+
+    def update(self, batch: Batch) -> None:
+        gids = self._factorize(batch)
+        ngroups = self.ngroups
+        self.row_counts.update(batch, gids, ngroups)
+        for state in self.states:
+            state.update(batch, gids, ngroups)
+
+    def retract(self, batch: Batch) -> None:
+        gids = self._factorize(batch)
+        ngroups = self.ngroups
+        self.row_counts.retract(batch, gids, ngroups)
+        for state in self.states:
+            state.retract(batch, gids, ngroups)
+
+    def finalize_live(self):
+        """``(key_arrays, result_arrays, ngroups)`` over *live* groups,
+        canonical (sorted-key) order — the from-scratch result shape."""
+        key_arrays, results, ngroups = self.finalize()
+        if not self.group_exprs:
+            # Global aggregate: the one group always exists, exactly as
+            # it does for a fresh query over an empty table.
+            return key_arrays, results, ngroups
+        counts = self.row_counts.finalize(ngroups)
+        order = self._canonical_order()
+        if order is not None:
+            counts = counts[order]
+        live = counts > 0
+        if live.all():
+            return key_arrays, results, ngroups
+        return (
+            [arr[live] for arr in key_arrays],
+            [arr[live] for arr in results],
+            int(np.count_nonzero(live)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Definition analysis
+# ---------------------------------------------------------------------------
+
+
+def _combined_sql(predicates) -> str | None:
+    if not predicates:
+        return None
+    combined = predicates[0]
+    for predicate in predicates[1:]:
+        combined = ast.Binary("AND", combined, predicate)
+    return combined.sql()
+
+
+class _AggregateShape:
+    """The (scan, predicate, group keys, aggregates) core of an
+    optimized single-table aggregate plan, plus the finishing stages."""
+
+    def __init__(self, root: LogicalNode):
+        self.root = root
+        node = root
+        self.limit = None
+        self.order_by = ()
+        if isinstance(node, Limit):
+            self.limit = node.count
+            node = node.child
+        if isinstance(node, Sort):
+            self.order_by = node.order_by
+            node = node.child
+        if not isinstance(node, Project):
+            raise ViewDefinitionError("unexpected plan shape")
+        self.items = node.items
+        node = node.child
+        self.having = None
+        if isinstance(node, Filter) and node.having:
+            self.having = node.predicate
+            node = node.child
+        if not isinstance(node, Aggregate):
+            raise ViewDefinitionError(
+                "materialized views must aggregate (GROUP BY or "
+                "aggregate functions)"
+            )
+        self.aggregate = node
+        predicates = []
+        child = node.child
+        while isinstance(child, Filter):
+            predicates.append(child.predicate)
+            child = child.child
+        if not isinstance(child, Scan):
+            raise ViewDefinitionError(
+                "materialized views must read exactly one base table"
+            )
+        if child.predicate is not None:
+            predicates.append(child.predicate)
+        self.scan = child
+        self.predicate_sql = _combined_sql(predicates)
+        self.predicates = tuple(predicates)
+        self.group_sqls = tuple(e.sql() for e in node.group_exprs)
+        self.agg_sqls = tuple(a.sql() for a in node.aggregates)
+
+
+def _shape_of(root: LogicalNode) -> _AggregateShape | None:
+    try:
+        return _AggregateShape(root)
+    except ViewDefinitionError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The view object
+# ---------------------------------------------------------------------------
+
+
+class MaterializedView:
+    """One materialized aggregate view over a single base table."""
+
+    def __init__(self, name: str, select: ast.Select, get_table,
+                 sum_config: SumConfig):
+        self.name = name.lower()
+        self.select = select
+        self.sum_config = sum_config
+        if select.distinct:
+            raise ViewDefinitionError(
+                "materialized views do not support SELECT DISTINCT"
+            )
+        if select.order_by or select.limit is not None:
+            raise ViewDefinitionError(
+                "materialized views do not support ORDER BY / LIMIT"
+            )
+        if select.having is not None:
+            raise ViewDefinitionError(
+                "materialized views do not support HAVING"
+            )
+        if not isinstance(select.from_clause, ast.TableRef):
+            raise ViewDefinitionError(
+                "materialized views must read exactly one base table"
+            )
+        logical = optimize(bind_select(select, get_table))
+        shape = _AggregateShape(logical)
+        self.logical = logical
+        self.table = shape.scan.table
+        self.table_name = self.table.name
+        self.predicate_sql = shape.predicate_sql
+        self.predicates = shape.predicates
+        self.group_exprs = shape.aggregate.group_exprs
+        self.group_sqls = shape.group_sqls
+        self.items = shape.items
+        self.specs = _dedup_specs(shape.aggregate.aggregates, sum_config)
+        self.agg_sqls = frozenset(spec.sql for spec in self.specs)
+        #: 'incremental' when every aggregate state retracts exactly;
+        #: 'full' otherwise (REFRESH recomputes through the pipeline).
+        self.maintenance = (
+            "incremental"
+            if all(spec.supports_retraction() for spec in self.specs)
+            else "full"
+        )
+        #: columns the delta scan needs (the optimizer's projection
+        #: pushdown already narrowed the scan to them)
+        projected = (
+            shape.scan.projected if shape.scan.projected is not None
+            else tuple(shape.scan.columns)
+        )
+        self.scan_columns = [
+            shape.scan.columns[key][0] for key in projected
+        ] or self.table.schema.names()[:1]
+        self.scan_keys = list(projected) or self.scan_columns
+        self.types = {
+            key: shape.scan.columns[key][1]
+            for key in (projected or self.scan_keys)
+        }
+        self._maintenance_table = (
+            MaintenanceGroupTable(self.group_exprs, self.specs)
+            if self.maintenance == "incremental" else None
+        )
+        #: base-table watermark the maintenance state has consumed
+        self.watermark = 0
+        self.key_arrays: list[np.ndarray] = []
+        self.agg_results: dict[str, np.ndarray] = {}
+        self.ngroups = 0
+        self._populated = False
+        self.refresh_count = 0
+
+    # -- freshness ---------------------------------------------------------
+    def is_fresh(self) -> bool:
+        """True when the view has consumed every base-table mutation."""
+        return self._populated and self.watermark == self.table.version
+
+    def matches_config(self, sum_config: SumConfig) -> bool:
+        return (
+            sum_config.mode == self.sum_config.mode
+            and sum_config.levels == self.sum_config.levels
+            and sum_config.buffer_size == self.sum_config.buffer_size
+        )
+
+    # -- refresh -----------------------------------------------------------
+    def refresh(self, context: ExecutionContext) -> int:
+        """Bring the view up to the base table's current watermark.
+
+        Incremental mode merges the partial states of rows inserted
+        since the consumed watermark and retracts those of rows deleted
+        since; full mode recomputes through the regular query pipeline.
+        Returns the number of delta rows consumed (incremental) or the
+        number of rows scanned (full).
+        """
+        if self.maintenance == "incremental":
+            consumed = self._refresh_incremental(context)
+        else:
+            consumed = self._refresh_full(context)
+        self.watermark = self.table.version
+        self._populated = True
+        self.refresh_count += 1
+        return consumed
+
+    def _delta_batches(self, mask: np.ndarray, context: ExecutionContext,
+                      keep_empty: bool):
+        """Delta rows under ``mask`` as filtered morsel-sized batches."""
+        data = self.table.masked_scan(mask, self.scan_columns)
+        renamed = {
+            key: data[source]
+            for key, source in zip(self.scan_keys, self.scan_columns)
+        }
+        nrows = len(next(iter(renamed.values()))) if renamed else 0
+        batches = []
+        if nrows == 0:
+            if keep_empty:
+                batches.append(Batch(renamed, self.types))
+        else:
+            for start in range(0, nrows, context.morsel_size):
+                batches.append(Batch(
+                    {
+                        key: arr[start : start + context.morsel_size]
+                        for key, arr in renamed.items()
+                    },
+                    self.types,
+                ))
+        filtered = []
+        for batch in batches:
+            for predicate in self.predicates:
+                batch = apply_where(batch, predicate)
+            filtered.append(batch)
+        return filtered, nrows
+
+    def _refresh_incremental(self, context: ExecutionContext) -> int:
+        inserted, deleted = self.table.delta_masks(self.watermark)
+        # The insert side always feeds at least one (possibly empty)
+        # batch: state dtypes prime exactly as the pipeline's
+        # one-empty-morsel scan primes them, so an empty table's view
+        # bits match an empty table's query bits.
+        ins_batches, ins_rows = self._delta_batches(
+            inserted, context, keep_empty=not self._populated
+        )
+        del_batches, del_rows = self._delta_batches(
+            deleted, context, keep_empty=False
+        )
+        table = self._maintenance_table
+        for batch in ins_batches:
+            table.update(batch)
+        for batch in del_batches:
+            table.retract(batch)
+        key_arrays, results, ngroups = table.finalize_live()
+        self._store(key_arrays, results, ngroups)
+        return int(ins_rows + del_rows)
+
+    def _refresh_full(self, context: ExecutionContext) -> int:
+        from .executor import compute_grouped_arrays
+
+        physical = plan_physical(self.logical, context, self.sum_config)
+        key_arrays, results, ngroups = compute_grouped_arrays(
+            physical, context
+        )
+        self._store(key_arrays, results, ngroups)
+        return len(self.table)
+
+    def _store(self, key_arrays, results, ngroups: int) -> None:
+        # Copy: finalize may hand back a state's internal array (e.g.
+        # the single-group fast path skips the reorder), and the
+        # maintenance state keeps mutating across refreshes — served
+        # results must never change retroactively.
+        self.key_arrays = [np.array(arr, copy=True) for arr in key_arrays]
+        self.agg_results = {
+            spec.sql: np.array(arr, copy=True)
+            for spec, arr in zip(self.specs, results)
+        }
+        self.ngroups = int(ngroups)
+
+    def state_bytes(self) -> int:
+        """Resident bytes of the maintenance state (0 in full mode)."""
+        if self._maintenance_table is None:
+            return 0
+        return self._maintenance_table.approx_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fresh = "fresh" if self.is_fresh() else "stale"
+        return (
+            f"MaterializedView({self.name!r} ON {self.table_name}, "
+            f"{self.maintenance}, {self.ngroups} groups, {fresh})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# View matching (the planner rewrite)
+# ---------------------------------------------------------------------------
+
+
+def match_view(logical: LogicalNode, views_for_table,
+               sum_config: SumConfig) -> MaterializedView | None:
+    """A fresh view that can answer this optimized aggregate plan.
+
+    The query must aggregate one base table with the same (optimized)
+    predicate and the same group-key list, and every aggregate it
+    computes must be one the view maintains.  Staleness or a changed
+    SUM configuration disqualify the view — the query falls back to
+    the base scan.
+    """
+    shape = _shape_of(logical)
+    if shape is None:
+        return None
+    for view in views_for_table(shape.scan.table.name):
+        if view.table is not shape.scan.table:
+            continue
+        if not view.is_fresh() or not view.matches_config(sum_config):
+            continue
+        if shape.predicate_sql != view.predicate_sql:
+            continue
+        if shape.group_sqls != view.group_sqls:
+            continue
+        if not set(shape.agg_sqls) <= view.agg_sqls:
+            continue
+        return view
+    return None
+
+
+def plan_view_scan(logical: LogicalNode, view: MaterializedView,
+                   context: ExecutionContext) -> PhysicalQuery:
+    """Lower a matched aggregate plan onto the view's finalized state."""
+    shape = _AggregateShape(logical)
+    return PhysicalQuery(
+        pipeline=None,
+        aggregate=None,
+        items=shape.items,
+        group_exprs=shape.aggregate.group_exprs,
+        having=shape.having,
+        order_by=shape.order_by,
+        limit=shape.limit,
+        column_types=plan_column_types(logical),
+        workers=context.workers,
+        morsel_size=context.morsel_size,
+        view_scan=PhysViewScan(view),
+    )

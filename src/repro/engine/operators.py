@@ -171,6 +171,12 @@ class _CountState:
         if gids.size:
             self.counts += np.bincount(gids, minlength=ngroups)
 
+    def retract(self, batch: Batch, gids: np.ndarray, ngroups: int) -> None:
+        """Exact inverse of :meth:`update` (integer subtraction)."""
+        self.counts = _grown(self.counts, ngroups)
+        if gids.size:
+            self.counts -= np.bincount(gids, minlength=ngroups)
+
     def merge(self, other: "_CountState", mapping, ngroups: int) -> None:
         self.counts = _grown(self.counts, ngroups)
         theirs = _grown(other.counts, len(mapping))
@@ -201,6 +207,16 @@ class _PlainSumImpl:
         self.sums = _grown(self.sums, ngroups)
         if gids.size:
             np.add.at(self.sums, gids, values)
+
+    def retract(self, values, gids, ngroups):
+        """Inverse of :meth:`update` — exact for the int64 (INT / BOOL /
+        DECIMAL) accumulators; for IEEE float accumulators subtraction
+        carries rounding residue, so float plain sums are excluded from
+        incremental view maintenance (see
+        :meth:`AggregateSpec.supports_retraction`)."""
+        self.sums = _grown(self.sums, ngroups)
+        if gids.size:
+            np.subtract.at(self.sums, gids, values)
 
     def merge(self, other, mapping, ngroups):
         self.sums = _grown(self.sums, ngroups)
@@ -251,6 +267,57 @@ class _ReproSumImpl:
         return self.grouped.finalize()
 
 
+class _RetractableReproSumImpl:
+    """Reproducible sums in retractable (full-grid) form.
+
+    Drop-in for :class:`_ReproSumImpl` plus an exact :meth:`retract`;
+    used by incremental view maintenance
+    (:mod:`repro.engine.matview`).  ``finalize`` renders the full-grid
+    state down to the truncated L-level ladder first, so the produced
+    bits match the query-time :class:`_ReproSumImpl` path exactly.
+    """
+
+    def __init__(self, dtype, levels: int):
+        from ..aggregation.retractable import RetractableGroupedSummation
+
+        self._dtype = dtype
+        self._levels = levels
+        fmt = BINARY32 if dtype == np.float32 else BINARY64
+        self.params = RsumParams(fmt, levels)
+        self.grouped = RetractableGroupedSummation(self.params, 0)
+        self._fmt_dtype = fmt.dtype
+
+    def empty_like(self):
+        return _RetractableReproSumImpl(self._dtype, self._levels)
+
+    def approx_bytes(self) -> int:
+        return self.grouped.nbytes()
+
+    def _grow(self, ngroups):
+        if self.grouped.ngroups < ngroups:
+            self.grouped.resize(ngroups)
+
+    def update(self, values, gids, ngroups):
+        self._grow(ngroups)
+        if gids.size:
+            self.grouped.add_pairs(gids, values.astype(self._fmt_dtype))
+
+    def retract(self, values, gids, ngroups):
+        self._grow(ngroups)
+        if gids.size:
+            self.grouped.retract_pairs(gids, values.astype(self._fmt_dtype))
+
+    def merge(self, other, mapping, ngroups):
+        self._grow(ngroups)
+        if other.grouped.ngroups < len(mapping):
+            other.grouped.resize(len(mapping))
+        self.grouped.merge(other.grouped, np.asarray(mapping, dtype=np.int64))
+
+    def finalize(self, ngroups):
+        self._grow(ngroups)
+        return self.grouped.finalize()
+
+
 class _SortedSumImpl:
     """Sort-based reproducible sums.
 
@@ -292,10 +359,13 @@ class _SortedSumImpl:
         return out
 
 
-def _make_float_sum_impl(dtype, mode: str, levels: int):
+def _make_float_sum_impl(dtype, mode: str, levels: int,
+                         retractable: bool = False):
     if mode == "ieee":
         return _PlainSumImpl(dtype)
     if mode in ("repro", "repro_buffered"):
+        if retractable:
+            return _RetractableReproSumImpl(dtype, levels)
         return _ReproSumImpl(dtype, levels)
     if mode == "sorted":
         return _SortedSumImpl(dtype)
@@ -305,12 +375,19 @@ def _make_float_sum_impl(dtype, mode: str, levels: int):
 class _SumState:
     """SUM/RSUM over one expression; the concrete impl (exact integer,
     ieee, repro, or sorted) is chosen from the input type on the first
-    morsel, mirroring the pre-pipeline dispatch."""
+    morsel, mirroring the pre-pipeline dispatch.
 
-    def __init__(self, arg: ast.Expr, mode: str, levels: int):
+    ``retractable=True`` (incremental view maintenance) swaps the repro
+    float impl for its full-grid retractable sibling; the int64 paths
+    already invert exactly.
+    """
+
+    def __init__(self, arg: ast.Expr, mode: str, levels: int,
+                 retractable: bool = False):
         self.arg = arg
         self.mode = mode
         self.levels = levels
+        self.retractable = retractable
         self.impl = None
 
     def _values(self, batch: Batch):
@@ -332,13 +409,21 @@ class _SumState:
     def _make_impl(self, kind: str, scale, dtype):
         if kind in ("decimal", "int"):
             return _PlainSumImpl(np.int64, scale)
-        return _make_float_sum_impl(dtype, self.mode, self.levels)
+        return _make_float_sum_impl(
+            dtype, self.mode, self.levels, self.retractable
+        )
 
     def update(self, batch: Batch, gids: np.ndarray, ngroups: int) -> None:
         values, kind, scale = self._values(batch)
         if self.impl is None:
             self.impl = self._make_impl(kind, scale, values.dtype)
         self.impl.update(values, gids, ngroups)
+
+    def retract(self, batch: Batch, gids: np.ndarray, ngroups: int) -> None:
+        values, kind, scale = self._values(batch)
+        if self.impl is None:
+            self.impl = self._make_impl(kind, scale, values.dtype)
+        self.impl.retract(values, gids, ngroups)
 
     def merge(self, other: "_SumState", mapping, ngroups: int) -> None:
         if other.impl is None:
@@ -452,6 +537,83 @@ class _DistinctCountState:
         return 64 * len(self.sets) + 64 * self.member_count
 
 
+class _RefcountedDistinctState:
+    """COUNT(DISTINCT expr) with per-member refcounts (retractable).
+
+    Where :class:`_DistinctCountState` keeps plain sets (one membership
+    bit per canonical value), this variant counts *occurrences*, so a
+    deleted row decrements its value's refcount and the member only
+    disappears when the last occurrence is retracted.  Finalize counts
+    the members with positive refcounts — byte-identical to the
+    set-based state over the same live rows.  Used by incremental view
+    maintenance (:mod:`repro.engine.matview`).
+    """
+
+    def __init__(self, arg: ast.Expr):
+        self.arg = arg
+        self.refcounts: list[dict] = []
+        self.member_count = 0
+
+    def _grow(self, ngroups: int) -> None:
+        while len(self.refcounts) < ngroups:
+            self.refcounts.append({})
+
+    def _apply(self, batch: Batch, gids: np.ndarray, ngroups: int,
+               sign: int) -> None:
+        self._grow(ngroups)
+        if not gids.size:
+            return
+        values = _eval_values(self.arg, batch)
+        codes, members = _canonical_distinct_codes(values)
+        base = max(len(members), 1)
+        pairs, counts = np.unique(
+            gids.astype(np.int64) * base + codes, return_counts=True
+        )
+        for pair, count in zip(pairs.tolist(), counts.tolist()):
+            gid, code = divmod(pair, base)
+            group = self.refcounts[gid]
+            member = members[code]
+            total = group.get(member, 0) + sign * count
+            if total > 0:
+                if member not in group:
+                    self.member_count += 1
+                group[member] = total
+            elif total == 0 and member in group:
+                del group[member]
+                self.member_count -= 1
+            elif total < 0:
+                raise ValueError(
+                    f"retract of unseen DISTINCT value {member!r}"
+                )
+
+    def update(self, batch: Batch, gids: np.ndarray, ngroups: int) -> None:
+        self._apply(batch, gids, ngroups, +1)
+
+    def retract(self, batch: Batch, gids: np.ndarray, ngroups: int) -> None:
+        self._apply(batch, gids, ngroups, -1)
+
+    def merge(self, other: "_RefcountedDistinctState", mapping,
+              ngroups: int) -> None:
+        self._grow(ngroups)
+        for gid, counts in enumerate(other.refcounts):
+            if counts:
+                target = self.refcounts[mapping[gid]]
+                for member, count in counts.items():
+                    if member not in target:
+                        self.member_count += 1
+                    target[member] = target.get(member, 0) + count
+
+    def finalize(self, ngroups: int) -> np.ndarray:
+        self._grow(ngroups)
+        return np.array(
+            [len(counts) for counts in self.refcounts[:ngroups]],
+            dtype=np.int64,
+        )
+
+    def approx_bytes(self) -> int:
+        return 64 * len(self.refcounts) + 96 * self.member_count
+
+
 class _MinMaxState:
     def __init__(self, arg: ast.Expr, is_min: bool):
         self.arg = arg
@@ -511,13 +673,18 @@ class _MinMaxState:
 
 
 class _AvgState:
-    def __init__(self, arg: ast.Expr, mode: str, levels: int):
-        self.sum = _SumState(arg, mode, levels)
+    def __init__(self, arg: ast.Expr, mode: str, levels: int,
+                 retractable: bool = False):
+        self.sum = _SumState(arg, mode, levels, retractable)
         self.count = _CountState()
 
     def update(self, batch, gids, ngroups):
         self.sum.update(batch, gids, ngroups)
         self.count.update(batch, gids, ngroups)
+
+    def retract(self, batch, gids, ngroups):
+        self.sum.retract(batch, gids, ngroups)
+        self.count.retract(batch, gids, ngroups)
 
     def merge(self, other, mapping, ngroups):
         self.sum.merge(other.sum, mapping, ngroups)
@@ -537,11 +704,12 @@ class _VarState:
     recipe: with a reproducible SUM these become reproducible too.
     x*x is an element-wise (order-free) operation."""
 
-    def __init__(self, name: str, arg: ast.Expr, mode: str, levels: int):
+    def __init__(self, name: str, arg: ast.Expr, mode: str, levels: int,
+                 retractable: bool = False):
         self.name = name
         self.arg = arg
-        self.sum_x = _make_float_sum_impl(np.float64, mode, levels)
-        self.sum_xx = _make_float_sum_impl(np.float64, mode, levels)
+        self.sum_x = _make_float_sum_impl(np.float64, mode, levels, retractable)
+        self.sum_xx = _make_float_sum_impl(np.float64, mode, levels, retractable)
         self.count = _CountState()
 
     def update(self, batch, gids, ngroups):
@@ -549,6 +717,14 @@ class _VarState:
         self.sum_x.update(values, gids, ngroups)
         self.sum_xx.update(values * values, gids, ngroups)
         self.count.update(batch, gids, ngroups)
+
+    def retract(self, batch, gids, ngroups):
+        # x*x is element-wise, so retracting the squared values is as
+        # order-free as adding them was.
+        values = np.asarray(_eval_values(self.arg, batch), dtype=np.float64)
+        self.sum_x.retract(values, gids, ngroups)
+        self.sum_xx.retract(values * values, gids, ngroups)
+        self.count.retract(batch, gids, ngroups)
 
     def merge(self, other, mapping, ngroups):
         self.sum_x.merge(other.sum_x, mapping, ngroups)
@@ -660,26 +836,45 @@ class AggregateSpec:
         if name not in ("COUNT", "SUM", "RSUM", "AVG", "MIN", "MAX") + _VAR_NAMES:
             raise ExprError(f"unknown aggregate {name!r}")
 
-    def make_state(self):
+    def supports_retraction(self) -> bool:
+        """True when :meth:`make_state` with ``retractable=True`` yields
+        a state whose ``retract`` is the *exact* inverse of ``update``.
+
+        MIN/MAX cannot retract (a bounded extreme forgets the runner-
+        up), and the ieee/sorted SUM family is excluded because IEEE
+        float subtraction leaves rounding residue — the reproducible
+        modes are what make incremental view maintenance exact, which
+        is the paper's pre-aggregation argument in practice.
+        """
+        name = self.call.name
+        if name == "COUNT" or name == "RSUM":
+            return True
+        if name in ("MIN", "MAX"):
+            return False
+        return self.sum_config.mode in ("repro", "repro_buffered")
+
+    def make_state(self, retractable: bool = False):
         name = self.call.name
         mode = self.sum_config.mode
         if name == "COUNT":
             if self.call.distinct:
+                if retractable:
+                    return _RefcountedDistinctState(self.call.args[0])
                 return _DistinctCountState(self.call.args[0])
             return _CountState()
         arg = self.call.args[0]
         if name == "SUM":
-            return _SumState(arg, mode, self.levels)
+            return _SumState(arg, mode, self.levels, retractable)
         if name == "RSUM":
             # Reproducible regardless of the session sum mode.
-            return _SumState(arg, "repro", self.levels)
+            return _SumState(arg, "repro", self.levels, retractable)
         if name == "AVG":
-            return _AvgState(arg, mode, self.levels)
+            return _AvgState(arg, mode, self.levels, retractable)
         if name == "MIN":
             return _MinMaxState(arg, is_min=True)
         if name == "MAX":
             return _MinMaxState(arg, is_min=False)
-        return _VarState(name, arg, mode, self.levels)
+        return _VarState(name, arg, mode, self.levels, retractable)
 
 
 class PartialGroupTable:

@@ -52,6 +52,7 @@ __all__ = [
     "PhysProbe",
     "PhysPipeline",
     "PhysAggregate",
+    "PhysViewScan",
     "PhysicalQuery",
     "estimate_group_state_bytes",
     "plan_physical",
@@ -164,10 +165,26 @@ class PhysAggregate:
 
 
 @dataclass
+class PhysViewScan:
+    """Answer an aggregate query straight from a fresh materialized
+    view's finalized state (no base-table scan at all)."""
+
+    view: object  # engine MaterializedView
+
+    def describe(self) -> str:
+        view = self.view
+        return (
+            f"ViewScan({view.name}, table={view.table_name}, "
+            f"{view.maintenance}, ~{view.ngroups} groups, "
+            f"watermark={view.watermark})"
+        )
+
+
+@dataclass
 class PhysicalQuery:
     """Everything the executor needs to run one SELECT."""
 
-    pipeline: PhysPipeline
+    pipeline: PhysPipeline | None
     aggregate: PhysAggregate | None
     items: tuple[ast.SelectItem, ...]
     group_exprs: tuple[ast.Expr, ...]
@@ -179,6 +196,9 @@ class PhysicalQuery:
     column_types: dict[str, object]
     workers: int = 1
     morsel_size: int = 0
+    #: set by the view-matching rewrite: serve from this view instead
+    #: of running the pipeline (``pipeline``/``aggregate`` are None)
+    view_scan: PhysViewScan | None = None
 
 
 class _PlannerState:
@@ -459,6 +479,9 @@ def render_physical(query: PhysicalQuery) -> str:
     if query.having is not None:
         lines.append("  " * indent + f"Filter(having={query.having.sql()})")
         indent += 1
+    if query.view_scan is not None:
+        lines.append("  " * indent + query.view_scan.describe())
+        return "\n".join(lines)
     if query.aggregate is not None:
         lines.append(
             "  " * indent

@@ -117,15 +117,47 @@ class ExecutionContext:
         self._pool: ThreadPoolExecutor | None = None
         self._finalizer = None
 
+    #: Every knob ``SET <name> = <value>`` accepts, for error messages.
+    PARAM_NAMES = (
+        "memory_budget_bytes", "memory_budget", "spill_partitions",
+        "spill_merge_fanin", "workers", "morsel_size", "vectorized",
+        "join_build",
+    )
+
     # -- knob validation / SET surface ------------------------------------
     @staticmethod
     def _as_int(value, name: str) -> int:
         """Coerce a knob value to int, rejecting fractional numbers
         (silently truncating ``SET memory_budget_bytes = 1.5e6`` to
-        one byte would be a nasty surprise)."""
+        one byte would be a nasty surprise) and naming the knob for
+        non-numeric values."""
         if isinstance(value, float) and not value.is_integer():
             raise ValueError(f"{name} must be an integer, got {value!r}")
-        return int(value)
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{name} expects an integer value, got {value!r}"
+            ) from None
+
+    @staticmethod
+    def _as_bool(value, name: str) -> bool:
+        """Coerce a knob value to bool, accepting the usual SQL-ish
+        spellings and rejecting everything else by name."""
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str):
+            low = value.lower()
+            if low in ("true", "on", "yes", "1"):
+                return True
+            if low in ("false", "off", "no", "0"):
+                return False
+        raise ValueError(
+            f"{name} expects a boolean value "
+            f"(TRUE/FALSE, on/off, 0/1), got {value!r}"
+        )
 
     @classmethod
     def _check_budget(cls, value) -> int | None:
@@ -188,7 +220,7 @@ class ExecutionContext:
                 raise ValueError("morsel_size must be >= 1")
             self.morsel_size = morsel_size
         elif key == "vectorized":
-            self.vectorized = bool(value)
+            self.vectorized = self._as_bool(value, "vectorized")
         elif key == "join_build":
             side = str(value).lower()
             if side not in self.JOIN_BUILD_SIDES:
@@ -197,7 +229,10 @@ class ExecutionContext:
                 )
             self.join_build = side
         else:
-            raise ValueError(f"unknown session parameter {name!r}")
+            raise ValueError(
+                f"unknown session parameter {name!r}; valid parameters: "
+                + ", ".join(self.PARAM_NAMES)
+            )
 
     def pool(self) -> ThreadPoolExecutor:
         """The context's worker pool, created lazily and reused across

@@ -395,7 +395,21 @@ def bind_select(stmt: ast.Select, get_table) -> LogicalNode:
         aggregates.extend(find_aggregates(having))
     grouped = bool(stmt.group_by) or bool(aggregates)
 
-    if grouped:
+    if stmt.distinct:
+        # SELECT DISTINCT lowers to a zero-aggregate GROUP BY over the
+        # select list: the grouped machinery already deduplicates keys
+        # exactly (canonical NaN/-0.0 identity included) and emits
+        # groups in canonical order, so DISTINCT costs no new operator.
+        if grouped:
+            raise NotImplementedError(
+                "SELECT DISTINCT with aggregates or GROUP BY is not "
+                "supported"
+            )
+        if any(isinstance(item.expr, ast.Star) for item in items):
+            raise BindError("SELECT DISTINCT * needs a FROM table")
+        node = Aggregate(node, tuple(item.expr for item in items), ())
+        grouped = True
+    elif grouped:
         group_exprs = tuple(_bind_expr(e, scope) for e in stmt.group_by)
         node = Aggregate(node, group_exprs, tuple(aggregates))
         if having is not None:

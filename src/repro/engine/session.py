@@ -108,7 +108,7 @@ class Database:
             timings = OperatorTimings()
             result = execute_select(
                 stmt, self.catalog.get, self.sum_config, timings,
-                self.execution_context,
+                self.execution_context, views=self.catalog.views_on,
             )
             self.last_timings = timings
             return result
@@ -122,6 +122,27 @@ class Database:
         if isinstance(stmt, ast.DropTable):
             self.catalog.drop(stmt.name, stmt.if_exists)
             return 0
+        if isinstance(stmt, ast.CreateMaterializedView):
+            from .matview import MaterializedView
+
+            view = MaterializedView(
+                stmt.name, stmt.query, self.catalog.get, self.sum_config
+            )
+            self.catalog.create_view(view)
+            try:
+                view.refresh(self.execution_context)
+            except BaseException:
+                # A failed initial population must not leave a broken
+                # view registered (it would also block DROP TABLE).
+                self.catalog.drop_view(view.name)
+                raise
+            return 0
+        if isinstance(stmt, ast.RefreshMaterializedView):
+            view = self.catalog.get_view(stmt.name)
+            return view.refresh(self.execution_context)
+        if isinstance(stmt, ast.DropMaterializedView):
+            self.catalog.drop_view(stmt.name, stmt.if_exists)
+            return 0
         if isinstance(stmt, ast.SetParam):
             self.execution_context.set_param(stmt.name, stmt.value)
             return 0
@@ -132,6 +153,10 @@ class Database:
         if isinstance(stmt, ast.Delete):
             return self._execute_delete(stmt)
         raise TypeError(f"unsupported statement {stmt!r}")
+
+    def view(self, name: str):
+        """The named materialized view (catalog accessor)."""
+        return self.catalog.get_view(name)
 
     def table(self, name: str):
         return self.catalog.get(name)
@@ -153,21 +178,37 @@ class Database:
 
     def _explain(self, stmt: ast.Select) -> str:
         return explain_select(
-            stmt, self.catalog.get, self.sum_config, self.execution_context
+            stmt, self.catalog.get, self.sum_config, self.execution_context,
+            views=self.catalog.views_on,
         )
 
     # -- DML ------------------------------------------------------------------
     def _execute_insert(self, stmt: ast.Insert) -> int:
         table = self.catalog.get(stmt.table)
         columns = list(stmt.columns) or table.schema.names()
+        if stmt.select is not None:
+            # INSERT INTO t SELECT ...: run the query, append the rows
+            # as one versioned chunk.
+            result = execute_select(
+                stmt.select, self.catalog.get, self.sum_config, None,
+                self.execution_context, views=self.catalog.views_on,
+            )
+            if len(result.names) != len(columns):
+                raise ValueError(
+                    f"INSERT arity mismatch: {len(columns)} target "
+                    f"columns, SELECT produces {len(result.names)}"
+                )
+            rows = [dict(zip(columns, row)) for row in result.rows()]
+            return table.insert_rows(rows)
+        rows = []
         for row in stmt.rows:
             if len(row) != len(columns):
                 raise ValueError("INSERT arity mismatch")
             values = {}
             for name, expr in zip(columns, row):
                 values[name] = evaluate(expr, {}, {})
-            table.insert_row(values)
-        return len(stmt.rows)
+            rows.append(values)
+        return table.insert_rows(rows)
 
     def _execute_update(self, stmt: ast.Update) -> int:
         """MonetDB/PostgreSQL-style UPDATE: mask old versions, append new.

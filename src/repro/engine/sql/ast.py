@@ -33,6 +33,9 @@ __all__ = [
     "Delete",
     "DropTable",
     "SetParam",
+    "CreateMaterializedView",
+    "RefreshMaterializedView",
+    "DropMaterializedView",
 ]
 
 
@@ -206,6 +209,9 @@ class Select:
     having: Expr | None = None
     order_by: tuple[OrderItem, ...] = ()
     limit: int | None = None
+    #: SELECT DISTINCT — lowered by the binder into a zero-aggregate
+    #: GROUP BY over the select list.
+    distinct: bool = False
 
     @property
     def table(self) -> str | None:
@@ -240,6 +246,8 @@ class Insert:
     table: str
     columns: tuple[str, ...]  # empty: schema order
     rows: tuple[tuple[Expr, ...], ...]
+    #: INSERT INTO t SELECT ... (``rows`` is empty when set)
+    select: "Select | None" = None
 
 
 @dataclass(frozen=True)
@@ -257,6 +265,29 @@ class Delete:
 
 @dataclass(frozen=True)
 class DropTable:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateMaterializedView:
+    """``CREATE MATERIALIZED VIEW name AS <select>``."""
+
+    name: str
+    query: Select
+
+
+@dataclass(frozen=True)
+class RefreshMaterializedView:
+    """``REFRESH MATERIALIZED VIEW name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DropMaterializedView:
+    """``DROP MATERIALIZED VIEW [IF EXISTS] name``."""
+
     name: str
     if_exists: bool = False
 

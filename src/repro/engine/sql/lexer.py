@@ -19,6 +19,7 @@ KEYWORDS = {
     "DATE", "INTERVAL", "DAY", "MONTH", "YEAR",
     "TRUE", "FALSE", "NULL", "DISTINCT",
     "JOIN", "INNER", "LEFT", "OUTER", "CROSS", "ON", "EXPLAIN",
+    "MATERIALIZED", "VIEW", "REFRESH",
 }
 
 _TWO_CHAR_OPS = ("<=", ">=", "<>", "!=")

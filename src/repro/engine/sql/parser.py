@@ -3,9 +3,13 @@
 Grammar (simplified)::
 
     statement   := select | explain | create | insert | update | delete
-                 | drop
+                 | drop | refresh | set
     explain     := EXPLAIN select
-    select      := SELECT item (',' item)* [FROM from_clause]
+    create      := CREATE TABLE name '(' coldefs ')'
+                 | CREATE MATERIALIZED VIEW name AS select
+    insert      := INSERT INTO name ['(' cols ')'] (VALUES tuples | select)
+    refresh     := REFRESH MATERIALIZED VIEW name
+    select      := SELECT [DISTINCT] item (',' item)* [FROM from_clause]
                    [WHERE expr] [GROUP BY expr (',' expr)*]
                    [HAVING expr] [ORDER BY order (',' order)*]
                    [LIMIT number]
@@ -106,6 +110,8 @@ class _Parser:
             stmt = self.parse_delete()
         elif self.check_kw("DROP"):
             stmt = self.parse_drop()
+        elif self.check_kw("REFRESH"):
+            stmt = self.parse_refresh()
         elif self.check_kw("SET"):
             stmt = self.parse_set()
         else:
@@ -117,11 +123,7 @@ class _Parser:
 
     def parse_select(self) -> ast.Select:
         self.expect_kw("SELECT")
-        if self.check_kw("DISTINCT"):
-            raise SqlParseError(
-                "SELECT DISTINCT is not supported "
-                "(COUNT(DISTINCT expr) is)"
-            )
+        distinct = self.accept_kw("DISTINCT")
         items = [self.parse_select_item()]
         while self.accept_op(","):
             items.append(self.parse_select_item())
@@ -150,7 +152,7 @@ class _Parser:
             limit = tok.value
         return ast.Select(
             tuple(items), from_clause, where, tuple(group_by), having,
-            tuple(order_by), limit,
+            tuple(order_by), limit, distinct,
         )
 
     def parse_from_clause(self) -> "ast.TableRef | ast.Join":
@@ -212,8 +214,13 @@ class _Parser:
             self.accept_kw("ASC")
         return ast.OrderItem(expr, descending)
 
-    def parse_create(self) -> ast.CreateTable:
+    def parse_create(self):
         self.expect_kw("CREATE")
+        if self.accept_kw("MATERIALIZED"):
+            self.expect_kw("VIEW")
+            name = self.expect_ident()
+            self.expect_kw("AS")
+            return ast.CreateMaterializedView(name, self.parse_select())
         self.expect_kw("TABLE")
         name = self.expect_ident()
         self.expect_op("(")
@@ -258,6 +265,8 @@ class _Parser:
             while self.accept_op(","):
                 columns.append(self.expect_ident())
             self.expect_op(")")
+        if self.check_kw("SELECT"):
+            return ast.Insert(table, tuple(columns), (), self.parse_select())
         self.expect_kw("VALUES")
         rows = [self.parse_value_tuple()]
         while self.accept_op(","):
@@ -320,14 +329,27 @@ class _Parser:
             return ast.SetParam(name, str(self.advance().value).lower())
         raise SqlParseError(f"expected a SET value, found {tok!r}")
 
-    def parse_drop(self) -> ast.DropTable:
+    def parse_drop(self):
         self.expect_kw("DROP")
+        if self.accept_kw("MATERIALIZED"):
+            self.expect_kw("VIEW")
+            if_exists = False
+            if self.accept_kw("IF"):
+                self.expect_kw("EXISTS")
+                if_exists = True
+            return ast.DropMaterializedView(self.expect_ident(), if_exists)
         self.expect_kw("TABLE")
         if_exists = False
         if self.accept_kw("IF"):
             self.expect_kw("EXISTS")
             if_exists = True
         return ast.DropTable(self.expect_ident(), if_exists)
+
+    def parse_refresh(self) -> ast.RefreshMaterializedView:
+        self.expect_kw("REFRESH")
+        self.expect_kw("MATERIALIZED")
+        self.expect_kw("VIEW")
+        return ast.RefreshMaterializedView(self.expect_ident())
 
     # -- expressions --------------------------------------------------------
     def parse_expr(self) -> ast.Expr:

@@ -32,25 +32,50 @@ class Column:
         self.name = name
         self.sql_type = sql_type
         self._data: list = []
-        self._array: np.ndarray | None = None
+        #: capacity-doubling conversion buffer; ``_converted`` rows of
+        #: ``_data`` are materialized in ``_buffer``
+        self._buffer: np.ndarray | None = None
+        self._converted = 0
         self._encoding: tuple[np.ndarray, np.ndarray] | None = None
 
     def append(self, value) -> None:
         self._data.append(self.sql_type.coerce(value))
-        self._array = None
         self._encoding = None
 
     def extend_raw(self, values) -> None:
         """Append pre-coerced storage values (bulk load fast path)."""
         self._data.extend(values)
-        self._array = None
         self._encoding = None
 
     def array(self) -> np.ndarray:
-        """The column as a NumPy array (cached until next append)."""
-        if self._array is None:
-            self._array = np.asarray(self._data, dtype=self.sql_type.numpy_dtype)
-        return self._array
+        """The column as a NumPy array (a view over the conversion
+        buffer).
+
+        The buffer extends *incrementally* with capacity doubling:
+        appending rows converts only the new tail, so a small INSERT
+        does not pay a whole-column rebuild — the storage-layer
+        property that keeps incremental view refresh O(delta) instead
+        of O(table).  Handed-out views stay valid: appends only write
+        buffer slots beyond every previously returned view's length,
+        and a capacity growth allocates a fresh buffer.
+        """
+        n = len(self._data)
+        if self._converted < n or self._buffer is None:
+            tail = np.asarray(
+                self._data[self._converted:],
+                dtype=self.sql_type.numpy_dtype,
+            )
+            if self._buffer is None or len(self._buffer) < n:
+                capacity = max(
+                    n, 2 * (0 if self._buffer is None else len(self._buffer))
+                )
+                grown = np.empty(capacity, dtype=self.sql_type.numpy_dtype)
+                if self._converted:
+                    grown[: self._converted] = self._buffer[: self._converted]
+                self._buffer = grown
+            self._buffer[self._converted : n] = tail
+            self._converted = n
+        return self._buffer[:n]
 
     def encoding(self) -> tuple[np.ndarray, np.ndarray]:
         """Dictionary encoding ``(codes, uniques)`` over all physical rows.
@@ -101,7 +126,18 @@ class Schema:
 
 
 class Table:
-    """A named table: schema + append-only columns + validity mask."""
+    """A named table: schema + versioned append chunks + delete vector.
+
+    Every mutation advances a monotone **row-version watermark**
+    (:attr:`version`).  Rows remember the watermark value of the
+    statement that appended them (their *insert version*) and, in the
+    delete vector, the watermark of the statement that masked them
+    (their *delete version*; 0 = live).  A consumer that snapshotted
+    the watermark at time ``W`` can later ask :meth:`delta_masks` for
+    exactly the rows inserted or deleted since ``W`` — the delta feed
+    behind incrementally-maintained materialized views
+    (:mod:`repro.engine.matview`).
+    """
 
     def __init__(self, name: str, schema: Schema):
         self.name = name.lower()
@@ -110,8 +146,17 @@ class Table:
             col_name: Column(col_name, sql_type)
             for col_name, sql_type in schema.columns
         }
-        self._valid: list[bool] = []
+        #: per physical row: watermark of the deleting statement, 0 = live
+        self._deleted: list[int] = []
+        #: per physical row: watermark of the appending statement
+        self._inserted: list[int] = []
+        #: monotone DML watermark (bumped once per mutating statement)
+        self._version = 0
+        # Incremental caches: appends extend the cached arrays with
+        # just the new tail; deletes (rare) invalidate them outright.
         self._valid_arr: np.ndarray | None = None
+        self._ins_arr: np.ndarray | None = None
+        self._del_arr: np.ndarray | None = None
 
     # -- size -------------------------------------------------------------
     def __len__(self) -> int:
@@ -121,22 +166,88 @@ class Table:
     @property
     def physical_rows(self) -> int:
         """Number of stored row versions (visible + masked)."""
-        return len(self._valid)
+        return len(self._deleted)
+
+    @property
+    def version(self) -> int:
+        """The current row-version watermark."""
+        return self._version
 
     def valid_mask(self) -> np.ndarray:
-        if self._valid_arr is None or len(self._valid_arr) != len(self._valid):
-            self._valid_arr = np.asarray(self._valid, dtype=bool)
+        if self._valid_arr is None:
+            self._valid_arr = np.asarray(
+                [d == 0 for d in self._deleted], dtype=bool
+            )
+        elif len(self._valid_arr) != len(self._deleted):
+            # Appended rows are live until a delete invalidates the
+            # cache, so the tail extension is all-True.
+            tail = np.ones(len(self._deleted) - len(self._valid_arr),
+                           dtype=bool)
+            self._valid_arr = np.concatenate([self._valid_arr, tail])
         return self._valid_arr
 
+    def _version_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(insert_version, delete_version)`` per physical row, with
+        the same incremental-tail caching as :meth:`valid_mask`."""
+        n = len(self._inserted)
+        if self._ins_arr is None:
+            self._ins_arr = np.asarray(self._inserted, dtype=np.int64)
+        elif len(self._ins_arr) != n:
+            tail = np.asarray(self._inserted[len(self._ins_arr):],
+                              dtype=np.int64)
+            self._ins_arr = np.concatenate([self._ins_arr, tail])
+        if self._del_arr is None:
+            self._del_arr = np.asarray(self._deleted, dtype=np.int64)
+        elif len(self._del_arr) != n:
+            tail = np.zeros(n - len(self._del_arr), dtype=np.int64)
+            self._del_arr = np.concatenate([self._del_arr, tail])
+        return self._ins_arr, self._del_arr
+
+    def delta_masks(self, since: int) -> tuple[np.ndarray, np.ndarray]:
+        """Physical-row masks of the delta between watermark ``since``
+        and now: ``(inserted, deleted)``.
+
+        ``inserted`` marks rows appended after ``since`` that are still
+        live; ``deleted`` marks rows that were live at ``since`` and
+        have been masked meanwhile.  Rows both appended *and* masked
+        since the watermark cancel out and appear in neither mask.
+        """
+        if not self._inserted:
+            empty = np.zeros(0, dtype=bool)
+            return empty, empty.copy()
+        ins, del_ = self._version_arrays()
+        inserted = (ins > since) & (del_ == 0)
+        deleted = (ins <= since) & (del_ > since)
+        return inserted, deleted
+
     # -- mutation ----------------------------------------------------------
-    def insert_row(self, values: dict) -> None:
+    def _bump(self) -> int:
+        self._version += 1
+        return self._version
+
+    def _append_row(self, values: dict, version: int) -> None:
         lowered = {k.lower(): v for k, v in values.items()}
         missing = [n for n in self.schema.names() if n not in lowered]
         if missing:
             raise ValueError(f"missing values for columns {missing}")
         for col_name, _ in self.schema.columns:
             self._columns[col_name].append(lowered[col_name])
-        self._valid.append(True)
+        self._deleted.append(0)
+        self._inserted.append(version)
+
+    def insert_row(self, values: dict) -> None:
+        self._append_row(values, self._bump())
+
+    def insert_rows(self, rows: list[dict]) -> int:
+        """Append many rows as one versioned chunk (one watermark bump
+        for the whole statement — INSERT ... VALUES / INSERT ... SELECT).
+        An empty statement leaves the watermark untouched."""
+        if not rows:
+            return 0
+        version = self._bump()
+        for row in rows:
+            self._append_row(row, version)
+        return len(rows)
 
     def bulk_load(self, columns: dict) -> None:
         """Load pre-coerced storage arrays (used by the TPC-H generator)."""
@@ -149,22 +260,36 @@ class Table:
             if col_name not in lowered:
                 raise ValueError(f"missing column {col_name!r}")
             self._columns[col_name].extend_raw(list(lowered[col_name]))
-        self._valid.extend([True] * nrows)
+        if nrows == 0:
+            return
+        version = self._bump()
+        self._deleted.extend([0] * nrows)
+        self._inserted.extend([version] * nrows)
 
     def mask_rows(self, physical_indices: np.ndarray) -> int:
-        """Delete row versions in place (the masking half of UPDATE)."""
-        count = 0
-        for idx in np.asarray(physical_indices).tolist():
-            if self._valid[idx]:
-                self._valid[idx] = False
-                count += 1
+        """Delete row versions in place (the masking half of UPDATE).
+
+        A statement that masks nothing does not advance the watermark,
+        so it cannot make a fresh materialized view look stale.
+        """
+        hits = [
+            idx for idx in np.asarray(physical_indices).tolist()
+            if self._deleted[idx] == 0
+        ]
+        if not hits:
+            return 0
+        version = self._bump()
+        for idx in hits:
+            self._deleted[idx] = version
+        # Deletes mutate existing entries: drop the caches rather than
+        # mutate arrays callers may still hold.
         self._valid_arr = None
-        return count
+        self._del_arr = None
+        return len(hits)
 
     def append_versions(self, rows: list[dict]) -> None:
         """Append new row versions (the re-insertion half of UPDATE)."""
-        for row in rows:
-            self.insert_row(row)
+        self.insert_rows(rows)
 
     # -- access --------------------------------------------------------------
     def column_array(self, name: str, visible_only: bool = True) -> np.ndarray:
@@ -179,7 +304,12 @@ class Table:
         ``columns`` restricts the scan to the named columns (projection
         pushdown for the vectorized pipeline); ``None`` scans all.
         """
-        mask = self.valid_mask()
+        return self.masked_scan(self.valid_mask(), columns)
+
+    def masked_scan(self, mask: np.ndarray, columns: list[str] | None = None) -> dict:
+        """Arbitrary physical-row selection as column arrays (physical
+        order).  Used with :meth:`delta_masks` to read a view's
+        insert/delete delta."""
         names = self.schema.names() if columns is None else [
             name.lower() for name in columns
         ]

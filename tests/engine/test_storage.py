@@ -130,3 +130,74 @@ class TestTableStorage:
         table.mask_rows(np.array([0]))
         assert table.column_array("f").tolist() == [1.5]
         assert table.column_array("f", visible_only=False).tolist() == [0.5, 1.5]
+
+
+class TestVersionedStorage:
+    """Versioned append chunks + delete vectors (the view delta feed)."""
+
+    def make_table(self):
+        return Table("t", Schema([("i", INT), ("f", DOUBLE)]))
+
+    def test_watermark_bumps_per_statement(self):
+        table = self.make_table()
+        assert table.version == 0
+        table.insert_rows([{"i": 1, "f": 0.1}, {"i": 2, "f": 0.2}])
+        assert table.version == 1  # one chunk, one bump
+        table.insert_row({"i": 3, "f": 0.3})
+        assert table.version == 2
+        table.mask_rows(np.array([0]))
+        assert table.version == 3
+
+    def test_delta_masks_window(self):
+        table = self.make_table()
+        table.insert_rows([{"i": 1, "f": 0.1}, {"i": 2, "f": 0.2}])
+        watermark = table.version
+        table.insert_row({"i": 3, "f": 0.3})
+        table.mask_rows(np.array([0]))
+        inserted, deleted = table.delta_masks(watermark)
+        assert inserted.tolist() == [False, False, True]
+        assert deleted.tolist() == [True, False, False]
+        # Nothing before the watermark appears as an insert.
+        inserted_all, deleted_all = table.delta_masks(0)
+        assert inserted_all.tolist() == [False, True, True]
+        assert not deleted_all.any()
+
+    def test_insert_then_delete_within_window_cancels(self):
+        table = self.make_table()
+        table.insert_row({"i": 1, "f": 0.1})
+        watermark = table.version
+        table.insert_row({"i": 9, "f": 9.9})
+        table.mask_rows(np.array([1]))
+        inserted, deleted = table.delta_masks(watermark)
+        assert not inserted.any()
+        assert not deleted.any()
+
+    def test_masked_scan_reads_delta_rows(self):
+        table = self.make_table()
+        table.insert_rows([{"i": 1, "f": 0.1}, {"i": 2, "f": 0.2}])
+        watermark = table.version
+        table.insert_rows([{"i": 3, "f": 0.3}])
+        inserted, _ = table.delta_masks(watermark)
+        data = table.masked_scan(inserted, ["i"])
+        assert data["i"].tolist() == [3]
+
+    def test_incremental_array_cache_preserves_handed_out_views(self):
+        table = self.make_table()
+        table.insert_row({"i": 1, "f": 0.5})
+        before = table.column_array("f", visible_only=False)
+        assert before.tolist() == [0.5]
+        table.insert_rows([{"i": 2, "f": 1.5}, {"i": 3, "f": 2.5}])
+        # The earlier view is unchanged; the new array sees the tail.
+        assert before.tolist() == [0.5]
+        assert table.column_array("f", visible_only=False).tolist() == [
+            0.5, 1.5, 2.5
+        ]
+
+    def test_valid_mask_extends_after_append_and_resets_after_delete(self):
+        table = self.make_table()
+        table.insert_rows([{"i": 1, "f": 0.1}])
+        assert table.valid_mask().tolist() == [True]
+        table.insert_rows([{"i": 2, "f": 0.2}])
+        assert table.valid_mask().tolist() == [True, True]
+        table.mask_rows(np.array([0]))
+        assert table.valid_mask().tolist() == [False, True]

@@ -1,0 +1,122 @@
+"""Fused kernels vs. the interpreted vectorized path: TPC-H Q1.
+
+The headline is the PR-6 acceptance gate: **reproducible fused Q1 must
+run within 1.5x of IEEE vectorized Q1** — the paper's thesis is that
+reproducibility is affordable, and the fused kernels
+(:mod:`repro.engine.fused`) are what close the gap.  The floor is
+enforced as a machine-relative ratio (``q1_repro_fused_over_ieee``,
+floor ``1 / 1.5``) so it gates reliably across runners.
+
+Reported series, all at ``workers=1`` so no parallelism hides kernel
+cost:
+
+* **Q1 end-to-end** per sum mode for the interpreted vectorized path
+  vs. the fused kernel path, with result bits asserted identical;
+* the repro-vs-IEEE gap, before (vectorized) and after (fused).
+
+Timings for the two paths are interleaved round-robin in one process,
+which cancels the machine's slow drift out of the ratios.
+"""
+
+import gc
+import time
+
+import numpy as np
+
+from _common import emit, ns_per_element, record_kernel, record_speedup, table
+from repro.engine import Database
+from repro.tpch import load_lineitem, run_q1
+
+SCALE = 0.01        # ~60k lineitem rows
+MORSEL_SIZE = 8192
+ROWS = int(SCALE * 6_000_000)
+ROUNDS = 7
+
+#: The acceptance gate: repro fused Q1 within 1.5x of IEEE vectorized,
+#: expressed as a speedup ratio floor (ieee_vec / repro_fused).
+RATIO_CEILING = 1.5
+SPEEDUP_FLOOR = 1.0 / RATIO_CEILING
+
+
+def _result_bits(result):
+    return tuple(np.asarray(arr).tobytes() for arr in result.arrays)
+
+
+def _prepare(mode: str, fused: bool):
+    db = Database(sum_mode=mode, workers=1, morsel_size=MORSEL_SIZE,
+                  fused=fused)
+    load_lineitem(db, scale_factor=SCALE)
+    result = run_q1(db)  # warm-up: key dictionaries + kernel compile
+    run_q1(db)           # second run hits the kernel cache
+    stats = db.last_pipeline_stats
+    assert stats.fused is fused
+    if fused:
+        assert db.execution_context.kernel_cache_hits >= 1
+        assert stats.kernel_time() > 0.0
+    return db, _result_bits(result)
+
+
+def test_fused_vs_vectorized_report():
+    configs = [
+        ("ieee", False), ("ieee", True), ("repro", False), ("repro", True),
+    ]
+    dbs, bits = {}, {}
+    for key in configs:
+        dbs[key], bits[key] = _prepare(*key)
+    for mode in ("ieee", "repro"):
+        assert bits[(mode, False)] == bits[(mode, True)], (
+            f"{mode}: fused result bits differ from the vectorized path"
+        )
+
+    best = {key: float("inf") for key in configs}
+    for _ in range(ROUNDS):
+        for key in configs:
+            gc.collect()
+            started = time.perf_counter()
+            run_q1(dbs[key])
+            best[key] = min(best[key], time.perf_counter() - started)
+
+    for (mode, fused), seconds in best.items():
+        suffix = "fused" if fused else "vectorized_m8k"
+        record_kernel(f"q1_{mode}_{suffix}", ns_per_element(seconds, ROWS))
+
+    gap_ratio = best[("repro", True)] / best[("ieee", False)]
+    record_speedup("q1_repro_fused_over_ieee", 1.0 / gap_ratio)
+    record_speedup(
+        "q1_repro_fused_over_vectorized",
+        best[("repro", False)] / best[("repro", True)],
+    )
+
+    body = [
+        [
+            mode,
+            round(best[(mode, False)] * 1e3, 2),
+            round(best[(mode, True)] * 1e3, 2),
+            round(best[(mode, False)] / best[(mode, True)], 2),
+            bits[(mode, False)] == bits[(mode, True)],
+        ]
+        for mode in ("ieee", "repro")
+    ]
+    emit(
+        "fused_vs_vectorized",
+        table(
+            ["mode", "vectorized ms", "fused ms", "speedup", "bits equal"],
+            body,
+            title=(
+                f"TPC-H Q1 (SF={SCALE}, morsel={MORSEL_SIZE}, workers=1): "
+                "interpreted vectorized vs. fused kernels"
+            ),
+        ),
+        f"repro fused / ieee vectorized = {gap_ratio:.2f}x "
+        f"(acceptance ceiling {RATIO_CEILING}x).\n"
+        "Fused kernels compile scan->filter->project->aggregate into one\n"
+        "generated per-morsel function: dispatch is resolved at compile\n"
+        "time, all repro sums share one ladder sweep, and the steady\n"
+        "state scatter-accumulates exact quanta with no sort at all —\n"
+        "bits stay identical to the scalar path in every mode.",
+    )
+
+    assert gap_ratio <= RATIO_CEILING, (
+        f"repro fused Q1 runs {gap_ratio:.2f}x the IEEE vectorized time, "
+        f"above the {RATIO_CEILING}x acceptance ceiling"
+    )

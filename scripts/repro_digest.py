@@ -2,8 +2,9 @@
 """Canonical-query reproducibility digest for the CI matrix.
 
 Runs a fixed query set under the repro sum modes across every
-``(workers, morsel_size, vectorized, memory_budget)`` combination —
-and, for the join queries, every hash-join build side — asserts the
+``(workers, morsel_size, vectorized, fused, memory_budget)``
+combination — and, for the join queries, every hash-join build side —
+asserts the
 result bits are identical *within* this process, and writes one digest
 line per (query, mode) to ``--out`` (default ``repro_digest.txt``).
 
@@ -19,6 +20,11 @@ repro-mode bits.  The memory-budget axis extends it to out-of-core
 execution: an unbounded run, a tight budget that forces the external
 aggregation to spill partitions to disk, and a pathological 1-byte
 budget that spills after every morsel must all agree bit for bit.
+The fused axis extends it to code generation: plans compiled into one
+fused morsel kernel (:mod:`repro.engine.fused`) and the same plans run
+through the interpreted operator pipeline must also agree bit for bit
+— including the automatic fallback legs where fusion declines (scalar
+path, external aggregation).
 
 Env overrides (so matrix legs vary without changing the command line):
 
@@ -26,6 +32,8 @@ Env overrides (so matrix legs vary without changing the command line):
 * ``REPRO_DIGEST_BUILD_SIDES`` — hash-join build sides for join legs;
 * ``REPRO_DIGEST_MEMORY_BUDGETS`` — comma-separated byte budgets;
   ``unbounded`` (or ``0``) disables spilling for that run;
+* ``REPRO_DIGEST_FUSED`` — comma-separated ``on`` / ``off`` flags for
+  the fused-kernel sweep (default ``on,off``);
 * ``REPRO_DIGEST_TPCH_SCALE`` — TPC-H scale factor (the nightly deep
   matrix runs x10 the PR default).
 """
@@ -215,6 +223,20 @@ def parse_build_sides(text: str) -> tuple[str, ...]:
     return sides
 
 
+def parse_fused(text: str) -> tuple[bool, ...]:
+    flags = []
+    for part in text.split(","):
+        part = part.strip().lower()
+        if not part:
+            continue
+        if part not in ("on", "off", "true", "false", "1", "0"):
+            raise SystemExit(f"bad fused flag {part!r}")
+        flags.append(part in ("on", "true", "1"))
+    if not flags:
+        raise SystemExit(f"no fused flags in {text!r}")
+    return tuple(flags)
+
+
 def parse_budgets(text: str) -> tuple:
     """Parse the memory-budget sweep: ``unbounded`` / ``none`` / ``0``
     mean no budget; anything else is a byte count."""
@@ -253,7 +275,8 @@ def canonical_bytes(result):
     return b"\x1e".join(pieces)
 
 
-def digest_lines(workers, build_sides, budgets=(None,), queries=QUERIES):
+def digest_lines(workers, build_sides, budgets=(None,), queries=QUERIES,
+                 fused_flags=(True, False)):
     lines = []
     for query_id, source, sql, sweeps_builds in queries:
         sides = build_sides if sweeps_builds else ("auto",)
@@ -263,38 +286,46 @@ def digest_lines(workers, build_sides, budgets=(None,), queries=QUERIES):
             for worker_count in workers:
                 for morsel_size in MORSEL_SIZES:
                     for vectorized in (True, False):
-                        for build_side in sides:
-                            for budget in budgets:
-                                db = Database(
-                                    sum_mode=mode,
-                                    workers=worker_count,
-                                    morsel_size=morsel_size,
-                                    vectorized=vectorized,
-                                    join_build=build_side,
-                                    memory_budget=budget,
-                                )
-                                _load(db, source)
-                                if callable(sql):
-                                    result = sql(db)
-                                else:
-                                    result = db.execute(sql)
-                                payload = canonical_bytes(result)
-                                config = (
-                                    worker_count,
-                                    morsel_size,
-                                    vectorized,
-                                    build_side,
-                                    budget,
-                                )
-                                if reference is None:
-                                    reference = payload
-                                    reference_config = config
-                                elif payload != reference:
-                                    raise SystemExit(
-                                        f"NON-REPRODUCIBLE: {query_id} "
-                                        f"[{mode}] at {config} differs "
-                                        f"from {reference_config}"
+                        # Fusion only engages on the vectorized path,
+                        # so sweeping it there covers kernel-vs-
+                        # interpreter; the vectorized=False legs keep
+                        # the scalar fallback in the same gate.
+                        flags = fused_flags if vectorized else (False,)
+                        for fused in flags:
+                            for build_side in sides:
+                                for budget in budgets:
+                                    db = Database(
+                                        sum_mode=mode,
+                                        workers=worker_count,
+                                        morsel_size=morsel_size,
+                                        vectorized=vectorized,
+                                        fused=fused,
+                                        join_build=build_side,
+                                        memory_budget=budget,
                                     )
+                                    _load(db, source)
+                                    if callable(sql):
+                                        result = sql(db)
+                                    else:
+                                        result = db.execute(sql)
+                                    payload = canonical_bytes(result)
+                                    config = (
+                                        worker_count,
+                                        morsel_size,
+                                        vectorized,
+                                        fused,
+                                        build_side,
+                                        budget,
+                                    )
+                                    if reference is None:
+                                        reference = payload
+                                        reference_config = config
+                                    elif payload != reference:
+                                        raise SystemExit(
+                                            f"NON-REPRODUCIBLE: {query_id} "
+                                            f"[{mode}] at {config} differs "
+                                            f"from {reference_config}"
+                                        )
             digest = hashlib.sha256(reference).hexdigest()
             lines.append(f"{query_id} {mode} {digest}")
     return lines
@@ -321,13 +352,22 @@ def main(argv=None):
             "pathological spill-every-morsel leg)"
         ),
     )
+    parser.add_argument(
+        "--fused",
+        default=os.environ.get("REPRO_DIGEST_FUSED", "on,off"),
+        help=(
+            "comma-separated on/off flags for the fused-kernel sweep "
+            "on the vectorized legs (default on,off)"
+        ),
+    )
     parser.add_argument("--out", default="repro_digest.txt")
     args = parser.parse_args(argv)
     workers = parse_workers(args.workers)
     build_sides = parse_build_sides(args.build_sides)
     budgets = parse_budgets(args.memory_budgets)
+    fused_flags = parse_fused(args.fused)
 
-    lines = digest_lines(workers, build_sides, budgets, QUERIES)
+    lines = digest_lines(workers, build_sides, budgets, QUERIES, fused_flags)
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write("\n".join(lines) + "\n")
     for line in lines:
@@ -336,6 +376,7 @@ def main(argv=None):
         f"\nwrote {args.out} (workers swept: {workers}, "
         f"build sides swept: {list(build_sides)}, "
         f"memory budgets swept: {list(budgets)}, "
+        f"fused swept: {list(fused_flags)}, "
         f"tpch scale: {tpch_scale()})"
     )
     return 0

@@ -31,7 +31,7 @@ from ..core.params import RsumParams
 from ..core.repro_type import ReproFloat, repro_spec_name
 from ..core.rsum import params_from_spec
 from ..fp.decimal_fixed import DecimalType
-from .grouped import GroupedSummation
+from .grouped import GroupedSummation, add_sorted_runs_multi
 
 __all__ = [
     "AggregatorSpec",
@@ -186,6 +186,13 @@ class ReproSpec(AggregatorSpec):
             table.add_sorted_runs(gids, values)
         else:
             table.add_pairs(group_ids, values)
+
+    def accumulate_multi(self, tables, group_ids, values):
+        """Feed several same-parameter tables one sorted morsel at once
+        (``values`` is ``(len(tables), n)``) — the fused engine kernels'
+        batched ladder walk, bit-identical to per-table
+        :meth:`accumulate` over sorted runs."""
+        add_sorted_runs_multi(tables, group_ids, values)
 
     def accumulate_elementwise(self, table, group_ids, values):
         # One ReproFloat += per pair, exactly like the unmodified

@@ -27,13 +27,14 @@ buffers, which we model in :mod:`repro.simulator`.
 from __future__ import annotations
 
 import math
+import threading
 
 import numpy as np
 
 from ..core.params import RsumParams
 from ..core.state import LadderOverflowError, SummationState
 
-__all__ = ["GroupedSummation"]
+__all__ = ["GroupedSummation", "add_pairs_multi", "add_sorted_runs_multi"]
 
 #: Ladder sentinel for "group has no finite non-zero value yet".
 _EMPTY_E0 = -(2**40)
@@ -183,20 +184,28 @@ class GroupedSummation:
                 k = np.ldexp(q, self._m - e_l).astype(np.int64)
                 self.s[level][seg_gids] += np.add.reduceat(k, starts)
         else:
-            e0_elem = self.e0[gids]
-            r = vals
-            for level in range(self._L):
-                e_l = e0_elem - level * self._w
-                active = e_l >= self._emin
-                anchor_exp = np.where(active, e_l, 0).astype(np.int32)
-                anchor = np.ldexp(self._dtype.type(1.5), anchor_exp)
-                q = (r + anchor) - anchor
-                q = np.where(active, q, self._dtype.type(0))
-                r = r - q
-                shift = np.where(active, self._m - e_l, 0).astype(np.int32)
-                k = np.ldexp(q, shift).astype(np.int64)
-                self.s[level][seg_gids] += np.add.reduceat(k, starts)
+            self._sweep_segments_elementwise(gids, vals, starts, seg_gids)
         self._propagate()
+
+    def _sweep_segments_elementwise(self, gids: np.ndarray, vals: np.ndarray,
+                                    starts: np.ndarray,
+                                    seg_gids: np.ndarray) -> None:
+        """Per-element-anchor sweep of one sorted run batch (groups on
+        mixed ladders, or levels below the normal range).  Caller owns
+        the ladder demotion beforehand and :meth:`_propagate` after."""
+        e0_elem = self.e0[gids]
+        r = vals
+        for level in range(self._L):
+            e_l = e0_elem - level * self._w
+            active = e_l >= self._emin
+            anchor_exp = np.where(active, e_l, 0).astype(np.int32)
+            anchor = np.ldexp(self._dtype.type(1.5), anchor_exp)
+            q = (r + anchor) - anchor
+            q = np.where(active, q, self._dtype.type(0))
+            r = r - q
+            shift = np.where(active, self._m - e_l, 0).astype(np.int32)
+            k = np.ldexp(q, shift).astype(np.int64)
+            self.s[level][seg_gids] += np.add.reduceat(k, starts)
 
     def _add_chunk(self, gids: np.ndarray, vals: np.ndarray) -> None:
         finite = np.isfinite(vals)
@@ -420,3 +429,336 @@ class GroupedSummation:
             f"GroupedSummation({self.ngroups} groups, L={self._L}, "
             f"{self.params.fmt.name})"
         )
+
+
+#: Largest element count the batched walk keeps persistent scratch for
+#: (beyond it, buffers are allocated per call rather than pinned).
+_WALK_SCRATCH_CAP = 1 << 18
+
+_WALK_SCRATCH = threading.local()
+
+
+def _walk_buffers(count: int, dtype) -> tuple:
+    """Thread-local ``(float, float, int64)`` scratch for the batched walk.
+
+    The walk's temporaries are as large as the morsel block itself, so
+    freshly allocating them every call means every pass streams through
+    cold pages.  Reusing one buffer set per thread keeps those pages
+    warm in cache from morsel to morsel; per-worker tables make the
+    walk thread-confined, so ``threading.local`` is the whole story.
+    Oversized requests fall back to plain allocation to keep the pinned
+    footprint bounded.
+    """
+    if count > _WALK_SCRATCH_CAP:
+        return (np.empty(count, dtype=dtype), np.empty(count, dtype=dtype),
+                np.empty(count, dtype=np.int64))
+    bufs = getattr(_WALK_SCRATCH, "bufs", None)
+    if bufs is None:
+        bufs = _WALK_SCRATCH.bufs = {}
+    entry = bufs.get(dtype)
+    if entry is None or entry[0].size < count:
+        cap = min(max(count, 1 << 14), _WALK_SCRATCH_CAP)
+        entry = (np.empty(cap, dtype=dtype), np.empty(cap, dtype=dtype),
+                 np.empty(cap, dtype=np.int64))
+        bufs[dtype] = entry
+    return entry
+
+
+def add_pairs_multi(tables: list, group_ids: np.ndarray,
+                    values_rows: list, checked: bool = True) -> bool:
+    """Scatter fast path for the steady state: feed unsorted pairs to
+    several ladder tables with **no sort, no gather, no run starts**.
+
+    Applies only when, for every table, the whole ladder already sits
+    on one uniform top exponent high enough for this batch (checked
+    against each column's global |max|), every value is finite, and
+    ``n * 2**(w-1) <= 2**53`` so that float64 partial sums of the
+    integral-valued quanta are exact in any accumulation order — then
+    ``np.bincount`` scatter-sums replace the segment machinery
+    entirely.  Returns ``False`` (with nothing mutated) when any
+    precondition fails; the caller then takes the sorted path.
+
+    ``checked=False`` skips the group-id range scan for callers that
+    construct the ids themselves (the fused kernels); out-of-range ids
+    are then undefined behavior exactly like any unchecked kernel.
+
+    Bit-identity with the per-table reference walk: no table demotes
+    (``needed <= e0`` for every group by the global-max check), the
+    anchor extraction is element-wise so each value's quantum is the
+    value the reference computes, quanta are exact integers whose
+    float64 partial sums stay below 2**53 (every partial representable
+    — order cannot change the total), and zeros extract a zero quantum
+    at every level, making them exact no-ops just as in the
+    zero-filtering reference (including the group-absent case:
+    ``s += 0`` on a canonical state, then an idempotent propagate).
+    """
+    tables = list(tables)
+    if not tables:
+        return True
+    first = tables[0]
+    for table in tables[1:]:
+        if table.params != first.params:
+            raise ValueError("add_pairs_multi requires identical parameters")
+    gids = np.asarray(group_ids, dtype=np.int64)
+    n = gids.size
+    if len(values_rows) != len(tables):
+        raise ValueError("one values row per table required")
+    if n == 0:
+        return True
+    m, w, levels = first._m, first._w, first._L
+    if first._dtype.itemsize != 8 or w > 53 or n > 1 << (54 - w):
+        return False
+    emin_floor = first._emin + (levels - 1) * w
+    e0s = []
+    for table in tables:
+        lo = int(table.e0.min())
+        if lo < emin_floor or lo != int(table.e0.max()):
+            return False
+        e0s.append(lo)
+    if checked and (int(gids.min()) < 0
+                    or int(gids.max()) >= min(t.ngroups for t in tables)):
+        return False  # let the sorted path raise the reference error
+    rows = [np.asarray(r, dtype=first._dtype) for r in values_rows]
+    his = []
+    for vals, e0 in zip(rows, e0s):
+        # max/min propagate NaN and catch ±inf without a full |.| pass
+        hi = max(float(vals.max()), -float(vals.min()))
+        if not hi <= first.params.fmt.max_value:  # NaN or +inf
+            return False
+        if hi > 0:
+            eb = math.frexp(hi)[1] - 1
+            if -(-(eb + m - w + 2) // w) * w > e0:
+                return False  # a demote would be needed somewhere
+        his.append(hi)
+
+    dt = first._dtype.type
+    qbuf, rbuf, _ = _walk_buffers(n, first._dtype)
+    q = qbuf[:n]
+    r = rbuf[:n]
+    for vals, table, e0, hi in zip(rows, tables, e0s, his):
+        if hi == 0:
+            continue  # all-zero column: exact no-op, as in the reference
+        src = vals
+        for level in range(levels):
+            e_l = e0 - level * w
+            anchor = np.ldexp(dt(1.5), e_l)
+            np.add(src, anchor, out=q)
+            np.subtract(q, anchor, out=q)
+            if level + 1 < levels:
+                np.subtract(src, q, out=r)
+                src = r
+            sums = np.bincount(gids, weights=q, minlength=table.ngroups)
+            # Sums are exact multiples of the level grid; ldexp lifts
+            # them to whole quanta exactly (the shift can exceed the
+            # power-of-two-float range near ``emin``, so no ``2.0**p``).
+            table.s[level] += np.ldexp(sums, m - e_l).astype(np.int64)
+        table._propagate()
+    return True
+
+
+def add_sorted_runs_multi(tables: list, group_ids: np.ndarray,
+                          values: np.ndarray,
+                          starts: np.ndarray | None = None) -> None:
+    """Feed one sorted morsel into several ladder tables in one sweep.
+
+    ``values`` has shape ``(len(tables), n)``; row ``i`` is consumed by
+    ``tables[i]``.  All tables must share identical :class:`RsumParams`.
+    The states produced are bit-identical to calling
+    ``tables[i].add_sorted_runs(group_ids, values[i], starts)`` for each
+    table in turn: quantum accumulation is exact int64 arithmetic and the
+    anchor extraction is element-wise, so batching the per-level sweeps
+    across a 2-D array (one ``reduceat`` over ``axis=1`` instead of N
+    ladder walks) cannot change any bits.  This is the engine's
+    multi-aggregate amortization: TPC-H Q1's five repro sums share one
+    sorted morsel, one segment-max, and one anchor sweep per level.
+
+    Zeros do not break the batch even though the single-table path
+    filters them out before computing run starts: a zero extracts a
+    zero quantum at every level and cannot change a segment's absolute
+    maximum, so the accumulated state matches the zero-filtering
+    reference bit for bit — *unless* filtering would leave a segment
+    empty (the reference then never touches that group's ladder), in
+    which case the column takes the reference path.  Columns with
+    non-finite values always fall back to their own
+    ``add_sorted_runs`` call (the counts and the filtered run
+    structure are not batchable), as does the whole batch when any
+    ladder would overflow (so the exception surfaces from the
+    reference path with nothing mutated); a column whose ladders end
+    up non-uniform or subnormal drops to the element-wise sweep.
+    """
+    tables = list(tables)
+    if not tables:
+        return
+    first = tables[0]
+    for table in tables[1:]:
+        if table.params != first.params:
+            raise ValueError(
+                "add_sorted_runs_multi requires identical parameters"
+            )
+    gids = np.asarray(group_ids, dtype=np.int64)
+    vals = np.asarray(values, dtype=first._dtype)
+    if vals.shape != (len(tables), gids.size) or gids.ndim != 1:
+        raise ValueError("values must have shape (len(tables), len(group_ids))")
+    if gids.size == 0:
+        return
+    if gids[0] < 0 or gids[-1] >= min(t.ngroups for t in tables):
+        raise IndexError("group id out of range")
+    if gids.size > _CHUNK:
+        for table, row in zip(tables, vals):
+            table.add_sorted_runs(gids, row, starts)
+        return
+    if starts is None:
+        starts = GroupedSummation._run_starts(gids)
+    seg_gids = gids[starts]
+
+    m, w, levels = first._m, first._w, first._L
+    n = gids.size
+    nseg = len(starts)
+    qbuf, rbuf, kbuf = _walk_buffers(len(tables) * n, first._dtype)
+    absvals = np.abs(vals, out=qbuf[:len(tables) * n].reshape(vals.shape))
+    # Run starts replicated at row offsets turn every 2-D segment
+    # reduction into one flat ``reduceat``: rows are contiguous, and a
+    # row's trailing segment stops at the next row's offset.  The
+    # first ``kb`` rows' offsets are a prefix, so the walk below can
+    # reuse slices of this array for any leading block width.
+    fstarts_all = (starts + (np.arange(len(tables)) * n)[:, None]).ravel()
+    seg_max_all = np.maximum.reduceat(
+        absvals.reshape(-1), fstarts_all
+    ).reshape(len(tables), nseg)
+    # One look at the segment maxima replaces full-width scans:
+    # ``np.maximum`` propagates NaN and |±inf| stays inf, so a
+    # non-finite maximum flags a non-finite column, and a zero maximum
+    # flags a segment the zero-filtering reference path would never
+    # touch (see docstring) — both take the reference path.
+    ok = (np.isfinite(seg_max_all) & (seg_max_all > 0)).all(axis=1)
+    batch = np.flatnonzero(ok)
+    for i in np.flatnonzero(~ok):
+        tables[int(i)].add_sorted_runs(gids, vals[i], starts)
+    if batch.size == 0:
+        return
+
+    if batch.size == len(tables):
+        sub = vals
+        seg_max = seg_max_all
+    else:
+        sub = vals[batch]
+        seg_max = seg_max_all[batch]
+    _, exps = np.frexp(seg_max)
+    eb = exps.astype(np.int64) - 1
+    raw = eb + m - w + 2
+    needed = -((-raw) // w) * w
+    if np.any(needed > first._emax_grid):
+        # Let the reference path raise LadderOverflowError for the
+        # offending table, with earlier tables fully applied — exactly
+        # the sequential per-table semantics.
+        for i in batch:
+            tables[int(i)].add_sorted_runs(gids, vals[i], starts)
+        return
+    np.maximum(needed, first._emin_grid, out=needed)
+
+    plans: dict = {}  # uniform top exponent -> [(row in ``sub``, table)]
+    emin_floor = first._emin + (levels - 1) * w
+    needed_hi = needed.max(axis=1)
+    for j, i in enumerate(batch):
+        table = tables[int(i)]
+        # Steady state: the whole table already sits on one ladder
+        # high enough for this morsel.  Two scalar reductions over the
+        # (tiny) e0 array decide that without touching ``seg_gids``.
+        lo = int(table.e0.min())
+        if needed_hi[j] <= lo and lo == int(table.e0.max()):
+            if lo >= emin_floor:
+                plans.setdefault(lo, []).append((j, table))
+                continue
+        e0_seg = table.e0[seg_gids]
+        if not bool((needed[j] <= e0_seg).all()):
+            target = table.e0.copy()
+            target[seg_gids] = np.maximum(e0_seg, needed[j])
+            table._demote_to(target)
+            e0_seg = table.e0[seg_gids]
+        e0 = int(e0_seg[0])
+        if (bool((e0_seg == e0).all())
+                and e0 - (levels - 1) * w >= table._emin):
+            plans.setdefault(e0, []).append((j, table))
+        elif bool((sub[j] == 0).any()):
+            # The element-wise sweep is not audited for embedded
+            # zeros; the reference path is (it filters them), and the
+            # demotion above is idempotent under it.
+            table.add_sorted_runs(gids, vals[i], starts)
+        else:
+            table._sweep_segments_elementwise(gids, sub[j], starts, seg_gids)
+            table._propagate()
+    if not plans:
+        return
+
+    # The batched walk proper.  The run structure, segment maxima, and
+    # demotion targets above were computed once for all columns;
+    # columns that landed on the *same* top exponent (the common case
+    # — think TPC-H Q1's five price-of-ordinary-magnitude sums) then
+    # share one scalar anchor per level, extracting the whole block's
+    # quanta in one scalar-broadcast pass per level instead of one per
+    # column.  The block is walked as a single flat vector — rows are
+    # contiguous, so run starts replicated at row offsets give one
+    # ``reduceat`` over every column at once (each row's trailing
+    # segment stops at the next row boundary) — and every temporary
+    # lands in the thread-local scratch, keeping those pages warm in
+    # cache from morsel to morsel.  Scalar anchors and ``out=`` keep
+    # the arithmetic the single-table fast path's verbatim, so
+    # bit-identity is by construction; the remainder is dead after the
+    # last level and is not materialized.
+    dt = first._dtype.type
+    p_lo, p_hi = (-126, 127) if first._dtype.itemsize == 4 else (-1022, 1023)
+    # The ladder invariant bounds every quantum by ``|k| <= 2**(w-1)``
+    # (that is what makes int64 accumulation exact under _CHUNK), so
+    # when ``n * 2**(w-1) <= 2**53`` every *partial* segment sum of
+    # the integral-valued ``q`` is exactly representable in binary64 —
+    # the float ``reduceat`` is then exact and the whole float→int64
+    # conversion pass can collapse to casting one tiny sum per
+    # segment.
+    float_sums = (first._dtype.itemsize == 8 and w <= 53
+                  and n <= 1 << (54 - w))
+    for e0, members in plans.items():
+        kb = len(members)
+        if kb == len(sub):
+            block = sub
+        elif kb == 1:
+            block = sub[members[0][0]][None, :]
+        else:
+            block = sub[[row for row, _ in members]]
+        flat = block.reshape(kb * n)
+        fstarts = starts if kb == 1 else fstarts_all[:kb * nseg]
+        q = qbuf[:flat.size]
+        r = rbuf[:flat.size]
+        kq = kbuf[:flat.size]
+        src = flat
+        for level in range(levels):
+            e_l = e0 - level * w
+            anchor = np.ldexp(dt(1.5), e_l)
+            np.add(src, anchor, out=q)
+            np.subtract(q, anchor, out=q)
+            if level + 1 < levels:
+                np.subtract(src, q, out=r)
+                src = r
+            p = m - e_l
+            if p_lo <= p <= p_hi:
+                # An exact power-of-two factor shifts the exponent just
+                # like ``ldexp`` (bitwise, including overflow to inf)
+                # and NumPy's multiply loop is ~2x faster than its
+                # scalbn loop; out-of-range shifts keep ``ldexp``.
+                np.multiply(q, dt(2.0) ** p, out=q)
+            else:
+                np.ldexp(q, p, out=q)
+            if float_sums:
+                seg_sums = np.add.reduceat(q, fstarts).astype(np.int64)
+            else:
+                np.copyto(kq, q, casting="unsafe")
+                seg_sums = np.add.reduceat(kq, fstarts)
+            for idx, (row, table) in enumerate(members):
+                chunk = seg_sums[idx * nseg:(idx + 1) * nseg]
+                if nseg == table.ngroups:
+                    # Sorted in-range gids covering every group means
+                    # ``seg_gids`` is exactly ``arange(ngroups)``.
+                    table.s[level] += chunk
+                else:
+                    table.s[level][seg_gids] += chunk
+        for row, table in members:
+            table._propagate()

@@ -369,6 +369,13 @@ def _grouped_arrays(query: PhysicalQuery, morsels: list[Batch], transform,
             aggregate.group_exprs, specs, morsels, None, context, timings,
             transform=transform, vectorized=aggregate.vectorized,
         )
+    if aggregate.fused:
+        # The generated kernel subsumes the whole per-morsel operator
+        # chain (filters included), so no transform is passed.
+        return run_grouped_pipeline(
+            aggregate.group_exprs, specs, morsels, None, context, timings,
+            vectorized=aggregate.vectorized, kernel=aggregate.kernel,
+        )
     return run_grouped_pipeline(
         aggregate.group_exprs, specs, morsels, None, context, timings,
         transform=transform, vectorized=aggregate.vectorized,

@@ -1,0 +1,656 @@
+"""Fused, plan-specialized morsel kernels.
+
+The vectorized path (:mod:`repro.engine.vectorized`) already batches
+the arithmetic, but it still pays interpreter tax per morsel: one
+Python dispatch per physical state, one :class:`~repro.engine.expr.
+ExprCache` dictionary probe per sub-expression, and one independent
+rsum ladder walk per reproducible aggregate.  This module removes that
+tax for *qualifying* plans by compiling scan -> filter -> project ->
+aggregate into a single generated per-morsel function:
+
+1. **Codegen, no dependencies.**  The kernel body is composed as plain
+   Python source over NumPy calls and compiled with :func:`exec`.
+   Every operator mirrors :func:`repro.engine.expr.evaluate` exactly
+   (same ufuncs, same operand objects), so each intermediate array is
+   bit-identical to the interpreted evaluation.
+2. **Plan specialization.**  The generated body is specialized on the
+   aggregate set, sum mode, rsum levels, input dtypes, and group-key
+   encodings — all dispatch decisions the interpreted path re-takes
+   per morsel are taken *once*, at compile time, from a zero-length
+   dtype probe of the scan schema.
+3. **Kernel cache.**  Kernels are cached on the execution context
+   keyed by a plan signature; the context counts hits and misses and
+   invalidates the cache when knobs that shape execution change.
+4. **Batched ladder walk.**  All reproducible SUM/AVG/VAR states of
+   equal :class:`~repro.core.params.RsumParams` feed one
+   :func:`~repro.aggregation.grouped.add_sorted_runs_multi` sweep over
+   the shared sorted morsel, instead of N independent ladder walks.
+
+Reproducibility is preserved by construction: the kernels reuse the
+exact state objects and update arithmetic of the vectorized path
+(:func:`_update_float_sum`, ``ufunc.reduceat`` extremes, int64
+segmented sums that are associative, and the multi-column ladder sweep
+that is proven bit-identical to the per-table walk), so fused results
+are byte-identical to both the vectorized and the scalar paths in
+every sum mode.  Plans the generator cannot express fall back to the
+interpreted engines automatically — fusion is an optimization, never a
+feature gate.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..aggregation.grouped import add_pairs_multi, add_sorted_runs_multi
+from .expr import SCALAR_FUNCTIONS, evaluate, expression_columns
+from .operators import (
+    Batch,
+    PartialGroupTable,
+    _PlainSumImpl,
+    _ReproSumImpl,
+    _make_float_sum_impl,
+)
+from .sql import ast
+from .types import DecimalSqlType
+from .vectorized import (
+    ClusteredMorsel,
+    SortedMorsel,
+    VectorizedGroupTable,
+    _update_float_sum,
+    _VecCountState,
+    _VecMinMaxState,
+    _VecSecondMomentState,
+    _VecSumState,
+)
+
+__all__ = ["FusedKernel", "FusedGroupTable", "compile_fused"]
+
+
+class _NoFuse(Exception):
+    """Raised by the emitter when a plan shape is not fuseable; the
+    caller falls back to the interpreted vectorized path."""
+
+
+class FusedKernel:
+    """One compiled per-morsel kernel plus its provenance."""
+
+    def __init__(self, signature, source: str, fn, nfilters: int):
+        self.signature = signature
+        #: generated Python source (tests and EXPLAIN debugging)
+        self.source = source
+        #: ``fn(batch, table)`` — consume one morsel into ``table``
+        self.fn = fn
+        self.nfilters = nfilters
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FusedKernel(nfilters={self.nfilters})"
+
+
+class FusedGroupTable(VectorizedGroupTable):
+    """Vectorized group table driven by one generated kernel.
+
+    Key registration, merge, and canonical finalize are inherited
+    unchanged, which is what pins the fused path's bits to the
+    interpreted engines: only per-morsel *dispatch* differs.
+    """
+
+    def __init__(self, group_exprs, specs, kernel: FusedKernel):
+        super().__init__(group_exprs, specs)
+        self._fused_kernel = kernel
+
+    def update(self, batch: Batch) -> None:
+        self._fused_kernel.fn(batch, self)
+
+
+# ---------------------------------------------------------------------------
+# Runtime helpers referenced from generated code
+# ---------------------------------------------------------------------------
+
+def _scalar_fallback(table, batch: Batch, sel):
+    """Radix-overflow escape hatch: register keys through the scalar
+    per-morsel key table, exactly like the interpreted path does."""
+    if sel is not None:
+        batch = batch.filter(sel)
+    return PartialGroupTable._factorize(table, batch)
+
+
+def _minmax_update(state, values, gids, morsel, ngroups: int) -> None:
+    """Mirror of :meth:`_VecMinMaxState.update_vec` minus the cache."""
+    state._grow(ngroups, values.dtype)
+    if gids.size == 0:
+        return
+    state._combine(
+        morsel.seg_gids,
+        state.ufunc.reduceat(morsel.take(values), morsel.starts),
+    )
+
+
+_SCRATCH = threading.local()
+
+#: Largest element count kept as persistent per-thread scratch.
+_STACK_SCRATCH_CAP = 1 << 18
+
+
+def _stack_buffer(slot: str, k: int, n: int, dtype) -> np.ndarray:
+    """Thread-local ``(k, n)`` scratch for ladder stacks and gathers.
+
+    A fresh 2-D array per morsel means every kernel invocation streams
+    through cold pages; one reused buffer per thread keeps them warm
+    in cache across morsels.  Two slots suffice: the assembled value
+    stack is dead the moment its sort-order gather completes, and the
+    gathered copy is dead when the ladder sweep returns.  Oversized
+    requests fall back to plain allocation.
+    """
+    count = k * n
+    if count > _STACK_SCRATCH_CAP:
+        return np.empty((k, n), dtype=dtype)
+    bufs = getattr(_SCRATCH, "bufs", None)
+    if bufs is None:
+        bufs = _SCRATCH.bufs = {}
+    key = (slot, np.dtype(dtype))
+    buf = bufs.get(key)
+    if buf is None or buf.size < count:
+        buf = bufs[key] = np.empty(
+            min(max(count, 1 << 14), _STACK_SCRATCH_CAP), dtype=dtype
+        )
+    return buf[:count].reshape(k, n)
+
+
+def _ladder_multi(impls, rows, gids, morsel, ngroups: int) -> None:
+    """Feed ``k`` same-parameter repro sum impls one sorted morsel in a
+    single multi-column ladder sweep.  ``rows`` is a list of ``k``
+    per-impl value arrays; each is gathered into sort order directly
+    inside one thread-local ``(k, n)`` block (no intermediate unsorted
+    stack), which :func:`add_sorted_runs_multi` then walks.
+    Bit-identical to ``k`` independent :func:`_update_float_sum` calls
+    because that walk is bit-identical to the per-table
+    ``add_sorted_runs``."""
+    groupeds = []
+    for impl in impls:
+        grouped = impl.grouped
+        if grouped.ngroups < ngroups:
+            grouped.resize(ngroups)
+        groupeds.append(grouped)
+    if gids.size == 0:
+        return
+    if add_pairs_multi(groupeds, gids, rows, checked=False):
+        # Steady-state scatter path: no sort, no gather, no starts.
+        return
+    morsel._ensure()
+    dtype = groupeds[0]._dtype
+    block = _stack_buffer("gather", len(rows), gids.size, dtype)
+    if morsel._identity:
+        for i, vals in enumerate(rows):
+            block[i] = vals
+    else:
+        order = morsel._order
+        for i, vals in enumerate(rows):
+            if vals.dtype != dtype:
+                vals = vals.astype(dtype)
+            np.take(vals, order, out=block[i])
+    add_sorted_runs_multi(groupeds, morsel.sorted_gids, block, morsel.starts)
+
+
+# ---------------------------------------------------------------------------
+# The code generator
+# ---------------------------------------------------------------------------
+
+class _Emitter:
+    """Builds the kernel body line by line.
+
+    Expressions are emitted in two stages — the filter stage sees
+    whole-morsel columns, the aggregation stage sees the filtered
+    slices — with the sub-expression memo reset at the boundary so no
+    full-length array leaks past the slice.  Dtypes and scalar-ness
+    come from evaluating every sub-expression once over *zero-length*
+    probe columns of the scan schema (value-independent promotion
+    makes the probe exact), which is also how constant folding falls
+    out: a scalar probe result means the node references no columns,
+    so its value is morsel-independent and becomes a kernel constant.
+    """
+
+    def __init__(self, scan):
+        self.scan = scan
+        self.lines: list[str] = []
+        self.consts: dict = {}        # (type name, repr) -> const name
+        self.const_values: dict = {}  # const name -> value
+        self.factories: dict = {}     # factory name -> callable
+        self._counter = 0
+        self._memo: dict[str, str] = {}
+        self._bmemo: dict[str, str] = {}
+        self._probe_memo: dict[str, object] = {}
+        self._probe_cols = {
+            name: np.empty(0, sql_type.numpy_dtype)
+            for name, sql_type in scan.types.items()
+        }
+        self._col_vars: dict[str, str] = {}
+
+    # -- infrastructure ----------------------------------------------------
+    def emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    def fresh(self, prefix: str = "_v") -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def const(self, value) -> str:
+        key = (type(value).__name__, repr(value))
+        name = self.consts.get(key)
+        if name is None:
+            name = f"_K{len(self.consts)}"
+            self.consts[key] = name
+            self.const_values[name] = value
+        return name
+
+    def factory(self, fn) -> str:
+        name = f"_mk{len(self.factories)}"
+        self.factories[name] = fn
+        return name
+
+    def reset_stage(self) -> None:
+        """Stage boundary: filter-stage arrays are full-length, nothing
+        emitted before the slice may be referenced after it."""
+        self._memo.clear()
+        self._bmemo.clear()
+
+    def probe(self, expr: ast.Expr):
+        """Zero-length dtype/scalar-ness probe (memoized, exact)."""
+        key = expr.sql()
+        if key not in self._probe_memo:
+            self._probe_memo[key] = evaluate(
+                expr, self._probe_cols, self.scan.types
+            )
+        return self._probe_memo[key]
+
+    def is_scalar(self, expr: ast.Expr) -> bool:
+        return np.asarray(self.probe(expr)).shape == ()
+
+    def column_var(self, name: str) -> str:
+        var = self._col_vars.get(name)
+        if var is None:
+            raise _NoFuse(f"column {name!r} not bound")
+        return var
+
+    def load_columns(self, names) -> None:
+        for name in sorted(names):
+            if name not in self.scan.types:
+                raise _NoFuse(f"column {name!r} not in scan schema")
+            var = self.fresh("_c")
+            self._col_vars[name] = var
+            self.emit(f"{var} = _cols[{name!r}]")
+
+    def slice_columns(self, names) -> None:
+        for name in sorted(names):
+            var = self._col_vars[name]
+            self.emit(f"{var} = {var}[_sel]")
+
+    # -- expression emission ----------------------------------------------
+    def tok(self, expr: ast.Expr) -> str:
+        """Token (variable or constant name) holding ``expr``'s value."""
+        key = expr.sql()
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if self.is_scalar(expr):
+            # No column references: fold to the interpreted value.  The
+            # probe computed it with evaluate()'s own ops, so the
+            # constant is the exact object ExprCache would produce.
+            token = self.const(self.probe(expr))
+        else:
+            token = self._emit_node(expr)
+        self._memo[key] = token
+        return token
+
+    def _assign(self, rhs: str) -> str:
+        var = self.fresh()
+        self.emit(f"{var} = {rhs}")
+        return var
+
+    def _emit_node(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.ColumnRef):
+            name = expr.name.lower()
+            var = self.column_var(name)
+            sql_type = self.scan.types.get(name)
+            if isinstance(sql_type, DecimalSqlType):
+                scale = self.const(10.0 ** sql_type.scale)
+                return self._assign(f"{var}.astype(np.float64) / {scale}")
+            return var
+        if isinstance(expr, ast.Unary):
+            operand = self.tok(expr.operand)
+            fn = "np.logical_not" if expr.op.upper() == "NOT" else "np.negative"
+            return self._assign(f"{fn}({operand})")
+        if isinstance(expr, ast.Between):
+            operand = self.tok(expr.operand)
+            low = self.tok(expr.low)
+            high = self.tok(expr.high)
+            return self._assign(
+                f"np.logical_and(np.greater_equal({operand}, {low}), "
+                f"np.less_equal({operand}, {high}))"
+            )
+        if isinstance(expr, ast.Binary):
+            left = self.tok(expr.left)
+            right = self.tok(expr.right)
+            op = expr.op.upper()
+            if op in ("AND", "OR"):
+                fn = "np.logical_and" if op == "AND" else "np.logical_or"
+                return self._assign(f"{fn}({left}, {right})")
+            if op in ("+", "-", "*"):
+                return self._assign(f"({left} {op} {right})")
+            if op == "/":
+                return self._assign(f"np.divide({left}, {right})")
+            comparisons = {
+                "=": "np.equal", "<>": "np.not_equal",
+                "<": "np.less", "<=": "np.less_equal",
+                ">": "np.greater", ">=": "np.greater_equal",
+            }
+            if op in comparisons:
+                return self._assign(f"{comparisons[op]}({left}, {right})")
+            raise _NoFuse(f"operator {op!r}")
+        if isinstance(expr, ast.FuncCall):
+            if expr.is_aggregate or expr.name not in SCALAR_FUNCTIONS:
+                raise _NoFuse(f"function {expr.name!r}")
+            if expr.name != "ABS":  # only ABS is registered today
+                raise _NoFuse(f"function {expr.name!r}")
+            return self._assign(f"np.abs({self.tok(expr.args[0])})")
+        raise _NoFuse(f"expression {type(expr).__name__}")
+
+    def values_tok(self, expr: ast.Expr) -> str:
+        """Token for a per-row array of ``expr`` (broadcast scalars),
+        mirroring :meth:`ExprCache.values` including its memoization."""
+        key = expr.sql()
+        cached = self._bmemo.get(key)
+        if cached is not None:
+            return cached
+        token = self.tok(expr)
+        if self.is_scalar(expr):
+            token = self._assign(f"np.full(_n, {token})")
+        self._bmemo[key] = token
+        return token
+
+
+def _plan_signature(scan, predicates, aggregate):
+    """Everything the generated code is specialized on."""
+    columns: set[str] = set()
+    for predicate in predicates:
+        columns |= expression_columns(predicate)
+    for expr in aggregate.group_exprs:
+        columns |= expression_columns(expr)
+    for spec in aggregate.specs:
+        for arg in spec.call.args:
+            if not isinstance(arg, ast.Star):
+                columns |= expression_columns(arg)
+    schema = []
+    for name in sorted(columns):
+        sql_type = scan.types.get(name)
+        if sql_type is None:
+            raise _NoFuse(f"column {name!r} not in scan schema")
+        schema.append((name, sql_type.name))
+    return (
+        tuple(schema),
+        tuple(predicate.sql() for predicate in predicates),
+        tuple(expr.sql() for expr in aggregate.group_exprs),
+        tuple(
+            (spec.sql, spec.call.name, spec.sum_config.mode, spec.levels)
+            for spec in aggregate.specs
+        ),
+        tuple(scan.encode_keys),
+    ), columns
+
+
+def _emit_filters(em: _Emitter, predicates) -> None:
+    masks = []
+    for predicate in predicates:
+        if em.is_scalar(predicate):
+            value = bool(em.probe(predicate))
+            masks.append(em._assign(f"np.full(_n, {value})"))
+            continue
+        token = em.tok(predicate)
+        if np.asarray(em.probe(predicate)).dtype != np.dtype(bool):
+            token = em._assign(f"{token}.astype(bool)")
+        masks.append(token)
+    em.emit(f"_sel = {masks[0]}")
+    for mask in masks[1:]:
+        em.emit(f"_sel = np.logical_and(_sel, {mask})")
+
+
+def _emit_group_ids(em: _Emitter, aggregate, have_filters: bool) -> None:
+    scan = em.scan
+    if not aggregate.group_exprs:
+        em.emit("_gids = np.zeros(_n, dtype=np.int64)")
+        return
+    encoded_flags = [
+        isinstance(expr, ast.ColumnRef)
+        and expr.name.lower() in scan.encode_keys
+        for expr in aggregate.group_exprs
+    ]
+    em.emit("_parts = []")
+    em.emit(f"_ae = {all(encoded_flags)}")
+    for j, expr in enumerate(aggregate.group_exprs):
+        sel = "[_sel]" if have_filters else ""
+        if encoded_flags[j]:
+            name = expr.name.lower()
+            em.emit(f"_e{j} = batch.encodings.get({name!r})")
+            em.emit(f"if _e{j} is None:")
+            em.emit("    _ae = False")
+            em.emit(f"    _pc{j}, _pu{j} = _ENC(_cols[{name!r}]{sel})")
+            em.emit("else:")
+            em.emit(f"    _pc{j}, _pu{j} = _e{j}[0]{sel}, _e{j}[1]")
+        else:
+            em.emit(f"_pc{j}, _pu{j} = _ENC({em.values_tok(expr)})")
+        em.emit(f"_parts.append((_pc{j}, _pu{j}, max(len(_pu{j}), 1)))")
+    fallback_sel = "_sel" if have_filters else "None"
+    em.emit(
+        "_gids = table._gids_from_parts(_parts, _ae, "
+        f"lambda: _FB(table, batch, {fallback_sel}))"
+    )
+
+
+def _emit_states(em: _Emitter, aggregate) -> bool:
+    """Emit the per-state update lines; returns whether any state's
+    bits depend on intra-group morsel order (which forces the stable
+    :class:`SortedMorsel` over the cheaper counting permutation)."""
+    order_sensitive = False
+    # The deterministic shared-state layout, recomputed at compile time
+    # (the method reads nothing from self, see vectorized._build_plan).
+    probe_states, _ = VectorizedGroupTable._build_plan(None, aggregate.specs)
+    #: (params key) -> list of (impl token, fmt-dtype values token)
+    ladder_slots: dict = {}
+
+    def ladder(impl_token: str, values_token: str, is_f32: bool,
+               levels: int) -> None:
+        ladder_slots.setdefault((is_f32, levels), []).append(
+            (impl_token, values_token)
+        )
+
+    for i, state in enumerate(probe_states):
+        svar = f"_S{i}"
+        em.emit(f"{svar} = table.states[{i}]")
+        if isinstance(state, _VecCountState):
+            em.emit(f"{svar}.update_vec(None, None, _gids, _morsel, _ngroups)")
+        elif isinstance(state, _VecSumState):
+            _emit_sum_state(em, state, svar, ladder)
+        elif isinstance(state, _VecMinMaxState):
+            values = em.values_tok(state.arg)
+            if np.asarray(em.probe(state.arg)).dtype.kind == "f":
+                # Float MIN/MAX can return either zero of a ±0.0 tie
+                # depending on encounter order within the segment.
+                order_sensitive = True
+            em.emit(f"_MM({svar}, {values}, _gids, _morsel, _ngroups)")
+        elif isinstance(state, _VecSecondMomentState):
+            _emit_moment_state(em, state, svar, i, ladder)
+        else:  # pragma: no cover - new state types fall back
+            raise _NoFuse(f"state {type(state).__name__}")
+
+    # Batched ladder walks last: reordering whole-state updates is
+    # bit-safe (each state object consumes exactly its own sequence).
+    for _key, slots in ladder_slots.items():
+        if len(slots) == 1:
+            impl_token, values_token = slots[0]
+            em.emit(
+                f"_UF({impl_token}, {values_token}, _gids, _morsel, _ngroups)"
+            )
+            continue
+        impls = ", ".join(impl_token for impl_token, _ in slots)
+        values = ", ".join(values_token for _, values_token in slots)
+        em.emit(f"_LM([{impls}], [{values}], _gids, _morsel, _ngroups)")
+    return order_sensitive
+
+
+def _emit_sum_state(em: _Emitter, state, svar: str, ladder) -> None:
+    """Specialize one `_VecSumState`: the kind/dtype dispatch its
+    ``update_vec`` re-takes per morsel, resolved from the schema."""
+    arg = state.arg
+    kind, scale, values_token, dtype = _sum_kind(em, arg)
+    if kind in ("decimal", "int"):
+        factory = em.factory(_plain_int_factory(scale))
+        em.emit(f"if {svar}.impl is None:")
+        em.emit(f"    {svar}.impl = {factory}()")
+        em.emit(f"{svar}.impl.update_sorted({values_token}, _morsel, _ngroups)")
+        return
+    factory = em.factory(_float_factory(dtype, state.mode, state.levels))
+    em.emit(f"if {svar}.impl is None:")
+    em.emit(f"    {svar}.impl = {factory}()")
+    if state.mode in ("repro", "repro_buffered"):
+        ladder(f"{svar}.impl", values_token, dtype == np.dtype(np.float32),
+               state.levels)
+    else:
+        em.emit(f"_UF({svar}.impl, {values_token}, _gids, _morsel, _ngroups)")
+
+
+def _emit_moment_state(em: _Emitter, state, svar: str, i: int,
+                       ladder) -> None:
+    values = em.values_tok(state.arg)
+    em.emit(f"_vf{i} = np.asarray({values}, dtype=np.float64)")
+    em.emit(f"_vsq{i} = _vf{i} * _vf{i}")
+    if isinstance(state.sum_x, _ReproSumImpl):
+        levels = state.sum_x._levels
+        ladder(f"{svar}.sum_x", f"_vf{i}", False, levels)
+        ladder(f"{svar}.sum_xx", f"_vsq{i}", False, levels)
+    else:
+        em.emit(f"_UF({svar}.sum_x, _vf{i}, _gids, _morsel, _ngroups)")
+        em.emit(f"_UF({svar}.sum_xx, _vsq{i}, _gids, _morsel, _ngroups)")
+
+
+def _sum_kind(em: _Emitter, arg: ast.Expr):
+    """Mirror `_VecSumState._values_cached` at compile time: returns
+    (kind, decimal scale, values token, values dtype)."""
+    if isinstance(arg, ast.ColumnRef):
+        sql_type = em.scan.types.get(arg.name.lower())
+        if isinstance(sql_type, DecimalSqlType):
+            # Exact integer path over the raw unscaled storage column.
+            return ("decimal", sql_type.scale,
+                    em.column_var(arg.name.lower()), np.dtype(np.int64))
+    dtype = np.asarray(em.probe(arg)).dtype
+    values_token = em.values_tok(arg)
+    if dtype.kind in "iub":
+        return "int", None, values_token, dtype
+    return "float", None, values_token, dtype
+
+
+def _plain_int_factory(scale):
+    def make():
+        return _PlainSumImpl(np.int64, scale)
+    return make
+
+
+def _float_factory(dtype, mode: str, levels: int):
+    def make():
+        return _make_float_sum_impl(dtype, mode, levels)
+    return make
+
+
+def _generate(scan, predicates, aggregate, signature,
+              columns) -> FusedKernel:
+    em = _Emitter(scan)
+    em.emit("_cols = batch.columns")
+    em.emit("_n = batch.nrows")
+
+    stage2_columns = set()
+    for expr in aggregate.group_exprs:
+        stage2_columns |= expression_columns(expr)
+    for spec in aggregate.specs:
+        for arg in spec.call.args:
+            if not isinstance(arg, ast.Star):
+                stage2_columns |= expression_columns(arg)
+
+    em.load_columns(columns)
+    have_filters = bool(predicates)
+    if have_filters:
+        _emit_filters(em, predicates)
+        em.slice_columns(stage2_columns)
+        em.emit("_n = int(np.count_nonzero(_sel))")
+        em.reset_stage()
+    else:
+        em.emit("_sel = None")
+
+    _emit_group_ids(em, aggregate, have_filters)
+    em.emit("_ngroups = table.ngroups")
+    # The morsel flavor depends on what the states consume, so emit
+    # them first and splice the morsel construction in above them.
+    morsel_at = len(em.lines)
+    order_sensitive = _emit_states(em, aggregate)
+    morsel_ctor = "_SM(_gids)" if order_sensitive else "_CM(_gids, _ngroups)"
+    em.lines.insert(morsel_at, f"_morsel = {morsel_ctor}")
+
+    body = "\n".join("    " + line for line in em.lines)
+    source = f"def _fused_kernel(batch, table):\n{body}\n"
+    namespace = {
+        "np": np,
+        "_ENC": VectorizedGroupTable._encode_values,
+        "_FB": _scalar_fallback,
+        "_SM": SortedMorsel,
+        "_CM": ClusteredMorsel,
+        "_UF": _update_float_sum,
+        "_MM": _minmax_update,
+        "_LM": _ladder_multi,
+    }
+    namespace.update(em.const_values)
+    namespace.update(em.factories)
+    exec(compile(source, "<fused-kernel>", "exec"), namespace)
+    return FusedKernel(signature, source, namespace["_fused_kernel"],
+                       len(predicates))
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def compile_fused(chain, aggregate, context) -> FusedKernel | None:
+    """Compile (or fetch from the context's kernel cache) a fused
+    kernel for this pipeline + aggregate, or ``None`` when the plan
+    does not qualify — the caller then runs the interpreted path."""
+    from .physical import PhysFilter
+
+    if aggregate is None or not aggregate.vectorized or aggregate.external:
+        return None
+    scan = chain.source
+    if scan.table is None:
+        return None
+    if any(not isinstance(op, PhysFilter) for op in chain.ops):
+        return None  # joins (probe ops) stay on the interpreted path
+    predicates = tuple(op.predicate for op in chain.ops)
+    try:
+        signature, columns = _plan_signature(scan, predicates, aggregate)
+    except _NoFuse:
+        return None
+
+    cache = getattr(context, "_kernel_cache", None)
+    if cache is not None and signature in cache:
+        context.kernel_cache_hits = getattr(
+            context, "kernel_cache_hits", 0
+        ) + 1
+        return cache[signature]
+    try:
+        kernel = _generate(scan, predicates, aggregate, signature, columns)
+    except Exception:
+        # _NoFuse and genuine surprises alike: the interpreted path is
+        # always correct, so an uncompilable plan just runs unfused.
+        kernel = None
+    if cache is not None:
+        cache[signature] = kernel
+        context.kernel_cache_misses = getattr(
+            context, "kernel_cache_misses", 0
+        ) + 1
+    return kernel

@@ -144,13 +144,17 @@ class PhysAggregate:
     spill_partitions: int = 0
     memory_budget_bytes: int | None = None
     est_state_bytes: int = 0
+    #: True when the planner compiled the whole pipeline + aggregate
+    #: into one generated morsel kernel (:mod:`repro.engine.fused`).
+    fused: bool = False
+    kernel: object = None
 
     def describe(self, workers: int, morsel_size: int) -> str:
         engine = "vectorized" if self.vectorized else "scalar"
         group = ", ".join(e.sql() for e in self.group_exprs)
         aggs = ", ".join(spec.sql for spec in self.specs)
         mode = "morsel-parallel" if workers > 1 else "serial"
-        extra = ""
+        extra = ", fused" if self.fused else ""
         if self.external:
             extra = (
                 f", external(partitions={self.spill_partitions}, "
@@ -343,6 +347,15 @@ def plan_physical(root: LogicalNode, context,
 
     chain = _build_pipeline(node, state)
 
+    if (aggregate is not None and aggregate.vectorized
+            and not aggregate.external and getattr(context, "fused", False)):
+        from .fused import compile_fused
+
+        kernel = compile_fused(chain, aggregate, context)
+        if kernel is not None:
+            aggregate.fused = True
+            aggregate.kernel = kernel
+
     from .plan import plan_column_types
 
     column_types = plan_column_types(root)
@@ -444,6 +457,17 @@ def _combined_predicate(node: LogicalNode) -> ast.Expr | None:
 def _render_pipeline(chain: PhysPipeline, indent: int,
                      lines: list[str], query: PhysicalQuery) -> None:
     pad = "  " * indent
+    if query.aggregate is not None and query.aggregate.fused:
+        # The whole chain runs as one generated kernel: render it as a
+        # single fused stage over the scan instead of operator lines.
+        filters = ", ".join(
+            op.predicate.sql() for op in chain.ops
+            if isinstance(op, PhysFilter)
+        )
+        detail = f"filters=[{filters}]" if filters else "no filters"
+        lines.append(pad + f"FusedPipeline[{detail}]")
+        lines.append(pad + "  " + chain.source.describe())
+        return
     for op in reversed(chain.ops):
         if isinstance(op, PhysFilter) and op.at_scan:
             continue

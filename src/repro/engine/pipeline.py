@@ -73,7 +73,7 @@ class ExecutionContext:
                  vectorized: bool = True, join_build: str = "auto",
                  memory_budget_bytes: int | None = None,
                  spill_partitions: int | None = None,
-                 spill_merge_fanin: int = 0):
+                 spill_merge_fanin: int = 0, fused: bool = True):
         workers = int(workers)
         morsel_size = int(morsel_size)
         if workers < 1:
@@ -90,6 +90,12 @@ class ExecutionContext:
         #: GROUP BY plans they support (bit-identical repro results;
         #: unsupported plans fall back to the scalar path per query).
         self.vectorized = bool(vectorized)
+        #: Compile qualifying vectorized GROUP BY plans into fused
+        #: per-morsel kernels (:mod:`repro.engine.fused`).  Bits are
+        #: identical with the knob on or off — the reproducibility CI
+        #: sweeps it; plans the generator cannot express run the
+        #: interpreted vectorized path regardless.
+        self.fused = bool(fused)
         #: Force the hash-join build side for inner joins ('left' /
         #: 'right'); 'auto' lets the optimizer pick by estimated
         #: cardinality.  In the repro sum modes the result bits are
@@ -116,13 +122,28 @@ class ExecutionContext:
         self.last_stats: PipelineStats | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._finalizer = None
+        #: Plan-signature -> compiled kernel (or None for plans that
+        #: failed codegen); maintained by :func:`repro.engine.fused.
+        #: compile_fused`, cleared when execution-shaping knobs change.
+        self._kernel_cache: dict = {}
+        self.kernel_cache_hits = 0
+        self.kernel_cache_misses = 0
+        self.kernel_cache_invalidations = 0
 
     #: Every knob ``SET <name> = <value>`` accepts, for error messages.
     PARAM_NAMES = (
         "memory_budget_bytes", "memory_budget", "spill_partitions",
         "spill_merge_fanin", "workers", "morsel_size", "vectorized",
-        "join_build",
+        "join_build", "fused",
     )
+
+    def _invalidate_kernels(self) -> None:
+        """Drop compiled kernels after a knob change that shapes
+        execution (workers / vectorized / memory budget): cached code
+        must never outlive the plan decisions it was specialized on."""
+        if self._kernel_cache:
+            self._kernel_cache.clear()
+            self.kernel_cache_invalidations += 1
 
     # -- knob validation / SET surface ------------------------------------
     @staticmethod
@@ -193,11 +214,18 @@ class ExecutionContext:
         Accepted names: ``memory_budget_bytes`` (alias
         ``memory_budget``; 0, NULL, or 'unbounded' clears it),
         ``spill_partitions``, ``spill_merge_fanin``, ``workers``,
-        ``morsel_size``, ``vectorized``, ``join_build``.
+        ``morsel_size``, ``vectorized``, ``join_build``, ``fused``.
+
+        Changes to ``workers``, ``vectorized``, or the memory budget
+        invalidate the fused kernel cache (the compiled kernels are
+        specialized against plan decisions those knobs shape).
         """
         key = name.lower()
         if key in ("memory_budget_bytes", "memory_budget"):
-            self.memory_budget_bytes = self._check_budget(value)
+            budget = self._check_budget(value)
+            if budget != self.memory_budget_bytes:
+                self._invalidate_kernels()
+            self.memory_budget_bytes = budget
         elif key == "spill_partitions":
             self.spill_partitions = self._check_partitions(value)
         elif key == "spill_merge_fanin":
@@ -206,13 +234,16 @@ class ExecutionContext:
             workers = self._as_int(value, "workers")
             if workers < 1:
                 raise ValueError("workers must be >= 1")
-            if workers != self.workers and self._pool is not None:
-                # The pool's max_workers is fixed at creation; replace it.
-                if self._finalizer is not None:
-                    self._finalizer.detach()
-                    self._finalizer = None
-                self._pool.shutdown(wait=False)
-                self._pool = None
+            if workers != self.workers:
+                self._invalidate_kernels()
+                if self._pool is not None:
+                    # The pool's max_workers is fixed at creation;
+                    # replace it.
+                    if self._finalizer is not None:
+                        self._finalizer.detach()
+                        self._finalizer = None
+                    self._pool.shutdown(wait=False)
+                    self._pool = None
             self.workers = workers
         elif key == "morsel_size":
             morsel_size = self._as_int(value, "morsel_size")
@@ -220,7 +251,12 @@ class ExecutionContext:
                 raise ValueError("morsel_size must be >= 1")
             self.morsel_size = morsel_size
         elif key == "vectorized":
-            self.vectorized = self._as_bool(value, "vectorized")
+            vectorized = self._as_bool(value, "vectorized")
+            if vectorized != self.vectorized:
+                self._invalidate_kernels()
+            self.vectorized = vectorized
+        elif key == "fused":
+            self.fused = self._as_bool(value, "fused")
         elif key == "join_build":
             side = str(value).lower()
             if side not in self.JOIN_BUILD_SIDES:
@@ -265,6 +301,14 @@ class PipelineStats:
         #: True when the grouped plan ran the batched kernels
         #: (:mod:`repro.engine.vectorized`) rather than the scalar path.
         self.vectorized = False
+        #: True when the grouped plan ran one fused generated kernel
+        #: per morsel (:mod:`repro.engine.fused`).
+        self.fused = False
+        #: Per-worker CPU time spent *inside* the fused kernel (a
+        #: subset of ``worker_busy``), so the modelled speedup and the
+        #: operator breakdown see fused execution rather than only
+        #: whole-worker wall time.
+        self.kernel_seconds = [0.0] * workers
         #: True when the external (spill-to-disk) aggregation ran; the
         #: spill_* fields below are its accounting
         #: (:mod:`repro.aggregation.external_agg`).
@@ -274,6 +318,10 @@ class PipelineStats:
         self.spilled_bytes = 0
         self.merge_passes = 0
         self.peak_resident_bytes = 0
+
+    def kernel_time(self) -> float:
+        """Total CPU seconds spent in fused kernels across workers."""
+        return sum(self.kernel_seconds)
 
     def critical_path(self) -> float:
         busiest = max(self.worker_busy) if self.worker_busy else 0.0
@@ -340,6 +388,7 @@ def run_grouped_pipeline(
     timings: OperatorTimings | None = None,
     transform=None,
     vectorized: bool | None = None,
+    kernel=None,
 ):
     """Parallel GROUP BY: per-worker partial tables, exact merge.
 
@@ -347,11 +396,19 @@ def run_grouped_pipeline(
     and hash-join probes composed by the physical planner — applied
     inside the worker before ``where``.  ``vectorized`` carries the
     planner's per-node engine decision; ``None`` falls back to deciding
-    here (legacy callers that skip the planner).
+    here (legacy callers that skip the planner).  ``kernel`` (a
+    :class:`~repro.engine.fused.FusedKernel`) replaces the per-morsel
+    transform/filter/update loop with one generated call per morsel;
+    the kernel subsumes the operator chain, so it is mutually exclusive
+    with ``transform`` and ``where``.
 
     Returns ``(key_arrays, result_arrays, ngroups)`` in canonical
     (sorted-key) group order.
     """
+    if kernel is not None and (transform is not None or where is not None):
+        raise ValueError(
+            "a fused kernel subsumes transform/where; pass one or the other"
+        )
     wall_started = time.perf_counter()
     stats = PipelineStats(min(context.workers, max(len(morsels), 1)))
     stats.morsel_count = len(morsels)
@@ -360,12 +417,24 @@ def run_grouped_pipeline(
             context.vectorized
             and plan_supports_vectorized(group_exprs, specs, where)
         )
-    stats.vectorized = bool(vectorized)
+    stats.vectorized = bool(vectorized) or kernel is not None
+    stats.fused = kernel is not None
     make_table = VectorizedGroupTable if stats.vectorized else PartialGroupTable
     selection_seconds = [0.0] * stats.workers
     aggregation_seconds = [0.0] * stats.workers
 
     def work_one(worker_id: int, assigned: list[int]) -> PartialGroupTable:
+        if kernel is not None:
+            from .fused import FusedGroupTable
+
+            table = FusedGroupTable(group_exprs, specs, kernel)
+            for index in assigned:
+                t1 = time.thread_time()
+                table.update(morsels[index])
+                dt = time.thread_time() - t1
+                stats.kernel_seconds[worker_id] += dt
+                aggregation_seconds[worker_id] += dt
+            return table
         table = make_table(group_exprs, specs)
         for index in assigned:
             t0 = time.thread_time()

@@ -39,6 +39,13 @@ class Database:
     sum mode; plans the kernels cannot express fall back to the scalar
     path automatically.
 
+    ``fused`` (default on) compiles qualifying vectorized GROUP BY
+    plans — single-table scan, filters only, supported expressions —
+    into one generated per-morsel kernel (:mod:`repro.engine.fused`),
+    cached per plan signature on the execution context.  Bits are
+    identical with the knob on or off; non-qualifying plans run the
+    interpreted vectorized path regardless.
+
     ``memory_budget`` (bytes; ``None`` = unbounded) caps aggregation
     memory: plans whose estimated group state exceeds it run through
     the out-of-core external GROUP BY
@@ -64,7 +71,7 @@ class Database:
                  vectorized: bool = True, join_build: str = "auto",
                  memory_budget: int | None = None,
                  spill_partitions: int | None = None,
-                 spill_merge_fanin: int = 0):
+                 spill_merge_fanin: int = 0, fused: bool = True):
         self.catalog = Catalog()
         self.sum_config = SumConfig(sum_mode, levels, buffer_size)
         self.execution_context = ExecutionContext(
@@ -72,6 +79,7 @@ class Database:
             memory_budget_bytes=memory_budget,
             spill_partitions=spill_partitions,
             spill_merge_fanin=spill_merge_fanin,
+            fused=fused,
         )
         self.last_timings: OperatorTimings | None = None
 

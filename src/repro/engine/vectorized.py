@@ -207,6 +207,55 @@ class SortedMorsel:
         return values[self._order]
 
 
+class ClusteredMorsel(SortedMorsel):
+    """Group-clustering permutation without intra-group stability.
+
+    Consumers whose per-segment reduction is bit-independent of the
+    order *within* a group — exact int64 quantum sums (repro ladders),
+    int/decimal sums, counts — pay for the stable argsort of
+    :class:`SortedMorsel` without needing it.  When few distinct
+    groups are present, one counting pass per group builds a grouping
+    permutation in ``O(n * distinct)`` sequential scans (each far
+    cheaper than a sort's data-dependent movement) and the run starts
+    fall out of the group counts for free.  Kernels containing an
+    order-sensitive state must keep the stable morsel: float MIN/MAX
+    can return either zero of a ``±0.0`` tie depending on encounter
+    order, and IEEE-mode float sums depend on it outright.
+    """
+
+    #: Beyond this many distinct groups the per-group counting passes
+    #: lose to one radix argsort; fall back to the stable morsel.
+    _MAX_COUNTING_GROUPS = 32
+
+    def __init__(self, gids: np.ndarray, ngroups: int):
+        super().__init__(gids)
+        self._ngroups = ngroups
+
+    def _ensure(self) -> None:
+        if self._ready:
+            return
+        gids = self.gids
+        if gids.size == 0 or bool((gids[1:] >= gids[:-1]).all()):
+            super()._ensure()
+            return
+        counts = np.bincount(gids, minlength=self._ngroups)
+        present = np.flatnonzero(counts)
+        if present.size > self._MAX_COUNTING_GROUPS:
+            super()._ensure()
+            return
+        kcounts = counts[present]
+        self._order = np.concatenate(
+            [np.flatnonzero(gids == g) for g in present]
+        )
+        self._sorted_gids = np.repeat(present, kcounts)
+        starts = np.empty(present.size, dtype=np.int64)
+        starts[0] = 0
+        np.cumsum(kcounts[:-1], out=starts[1:])
+        self._starts = starts
+        self._seg_gids = present
+        self._ready = True
+
+
 # ---------------------------------------------------------------------------
 # Vectorized partial states (merge/finalize inherited => exact parity)
 # ---------------------------------------------------------------------------
@@ -397,7 +446,6 @@ class VectorizedGroupTable(PartialGroupTable):
             return np.zeros(batch.nrows, dtype=np.int64)
         parts = []
         all_encoded = True
-        total = 1
         for expr in self.group_exprs:
             encoding = None
             if isinstance(expr, ast.ColumnRef):
@@ -407,20 +455,42 @@ class VectorizedGroupTable(PartialGroupTable):
             else:
                 all_encoded = False
                 arr = cache.values(expr, batch.nrows)
-                if arr.dtype == object:
-                    codes, uniques = factorize_object(arr)
-                else:
-                    uniques, codes = np.unique(arr, return_inverse=True)
-                    codes = codes.astype(np.int64, copy=False)
-            base = max(len(uniques), 1)
+                codes, uniques = self._encode_values(arr)
+            parts.append((codes, uniques, max(len(uniques), 1)))
+        return self._gids_from_parts(
+            parts, all_encoded,
+            lambda: PartialGroupTable._factorize(self, batch),
+        )
+
+    @staticmethod
+    def _encode_values(arr: np.ndarray):
+        """Dictionary-encode one unencoded key column (codes, uniques)."""
+        if arr.dtype == object:
+            codes, uniques = factorize_object(arr)
+        else:
+            uniques, codes = np.unique(arr, return_inverse=True)
+            codes = codes.astype(np.int64, copy=False)
+        return codes, uniques
+
+    def _gids_from_parts(self, parts, all_encoded: bool,
+                         scalar_fallback) -> np.ndarray:
+        """Composite ``(codes, uniques, base)`` key parts -> table gids.
+
+        Shared by the interpreted vectorized path and the fused kernels
+        (:mod:`repro.engine.fused`), so key registration — radix
+        combine, persistent LUT, canonical NaN/-0.0 identity — cannot
+        diverge between the two.  ``scalar_fallback`` produces the gids
+        when the composite radix space would overflow int64.
+        """
+        total = 1
+        for _, _, base in parts:
             total *= base
-            parts.append((codes, uniques, base))
         if self._key_dtypes is None:
             self._key_dtypes = [uniques.dtype for _, uniques, _ in parts]
         if total >= _RADIX_MAX:
             # Composite radix codes would overflow int64: let the scalar
             # per-morsel key table handle this (automatic fallback).
-            return super()._factorize(batch)
+            return scalar_fallback()
         combined = parts[0][0]
         for codes, _, base in parts[1:]:
             combined = combined * base + codes

@@ -1,0 +1,180 @@
+"""Serving throughput: queries/second at 1 / 8 / 32 concurrent sessions.
+
+Each leg drives a real :class:`repro.server.ReproServer` (TCP on a
+loopback port, the production wire path: framed JSON + base64 column
+bytes) with N blocking-socket clients, each running the same GROUP BY
+SUM over a shared table in ``sum_mode="repro"``.  Reported qps is
+completed-queries over wall-clock across all clients.
+
+Two gates land in ``BENCH_pr.json``:
+
+* per-query server-side cost at each concurrency (ns/element against
+  the scanned rows), compared against ``baseline.json``'s
+  ``ns_per_element`` entries with the usual tolerance;
+* ``serving_qps_8_over_1`` — throughput at 8 sessions over throughput
+  at 1.  Its committed floor asserts the admission gate and MVCC
+  snapshots don't make concurrency *collapse*: 8 sessions must retain
+  at least the floor's fraction of serial throughput.  (Python's GIL
+  caps the upside; the gate is about not regressing into lock
+  convoys.)
+
+Every client's result bits are also cross-checked against a local
+session — serving must never trade correctness for throughput.
+"""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+
+from _common import emit, ns_per_element, record_kernel, record_speedup, table
+import repro
+from repro.engine import Database
+from repro.server import ReproServer
+
+ROWS = 40_000
+NGROUPS = 64
+QUERIES_PER_CLIENT = {1: 40, 8: 10, 32: 3}
+CONCURRENCY = (1, 8, 32)
+QUERY = "SELECT k, SUM(v) AS sv, COUNT(*) AS c FROM obs GROUP BY k ORDER BY k"
+
+#: Acceptance bound via baseline.json's ``serving_qps_8_over_1`` floor.
+MIN_8_OVER_1 = 0.5
+
+
+class _ServerThread:
+    def __init__(self, db, **kwargs):
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self.address = None
+        self.db = db
+        self.kwargs = kwargs
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        async with ReproServer(self.db, **self.kwargs) as server:
+            self.address = server.address
+            self._ready.set()
+            await self._stop.wait()
+
+    def stop(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+
+def _seed(db):
+    rng = np.random.default_rng(7474)
+    keys = rng.integers(0, NGROUPS, size=ROWS)
+    values = rng.choice([-1.0, 1.0], size=ROWS) * np.exp2(
+        rng.uniform(-30, 30, size=ROWS)
+    )
+    db.execute("CREATE TABLE obs (k INT, v DOUBLE)")
+    db.table("obs").bulk_load({"k": keys.tolist(), "v": values.tolist()})
+
+
+def _drive(address, n_clients: int, queries_each: int,
+           expected_bits: bytes) -> float:
+    """Run the workload; return wall seconds across all clients."""
+    barrier = threading.Barrier(n_clients + 1)
+    failures = []
+
+    def client():
+        try:
+            with repro.connect(address, sum_mode="repro") as session:
+                barrier.wait()
+                for _ in range(queries_each):
+                    result = session.execute(QUERY)
+                    bits = b"".join(a.tobytes() for a in result.arrays)
+                    assert bits == expected_bits, "served bits drifted"
+        except Exception as exc:  # pragma: no cover - diagnostic
+            failures.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    threads = [threading.Thread(target=client) for _ in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not failures, failures
+    return elapsed
+
+
+def test_serving_throughput_report():
+    db = Database(sum_mode="repro")
+    _seed(db)
+    local = db.session()
+    expected_bits = b"".join(
+        a.tobytes() for a in local.execute(QUERY).arrays
+    )
+
+    server = _ServerThread(db, max_inflight=8, max_backlog=64)
+    try:
+        # Warm up the wire + kernel caches once.
+        with repro.connect(server.address, sum_mode="repro") as session:
+            session.execute(QUERY)
+
+        qps = {}
+        rows = []
+        for n_clients in CONCURRENCY:
+            queries_each = QUERIES_PER_CLIENT[n_clients]
+            total = n_clients * queries_each
+            elapsed = _drive(
+                server.address, n_clients, queries_each, expected_bits
+            )
+            qps[n_clients] = total / elapsed
+            per_query_s = elapsed / total
+            record_kernel(
+                f"serving_query_c{n_clients}",
+                ns_per_element(per_query_s, ROWS),
+            )
+            rows.append(
+                (
+                    n_clients, total, f"{elapsed * 1e3:.0f}",
+                    f"{qps[n_clients]:.1f}",
+                    f"{per_query_s * 1e3:.1f}",
+                )
+            )
+    finally:
+        server.stop()
+
+    ratio_8 = qps[8] / qps[1]
+    ratio_32 = qps[32] / qps[1]
+    record_speedup("serving_qps_8_over_1", ratio_8)
+
+    emit(
+        "bench_serving",
+        table(
+            ["sessions", "queries", "wall ms", "qps", "ms/query"],
+            rows,
+            title=(
+                f"served GROUP BY SUM over {ROWS} rows x {NGROUPS} groups "
+                f"(repro mode, TCP loopback, max_inflight=8)"
+            ),
+        ),
+        (
+            f"8 sessions retain {ratio_8:.2f}x of serial throughput "
+            f"(gate: >= {MIN_8_OVER_1}x via the serving_qps_8_over_1 "
+            f"floor), 32 sessions {ratio_32:.2f}x; every served result "
+            f"byte-identical to the local session."
+        ),
+    )
+
+    assert ratio_8 >= MIN_8_OVER_1, (
+        f"throughput at 8 sessions collapsed to {ratio_8:.2f}x of serial "
+        f"(gate: >= {MIN_8_OVER_1}x)"
+    )

@@ -121,6 +121,118 @@ def _view_maintenance(db):
     return served
 
 
+SERVING_QUERY_TEMPLATE = (
+    "SELECT k, SUM(v) AS sv, COUNT(*) AS c, MIN(v) AS lo, MAX(v) AS hi "
+    "FROM {table} GROUP BY k ORDER BY k"
+)
+
+SERVING_THREADS = 8
+SERVING_STEPS = 20
+
+
+def _serving_scripts():
+    """Seeded per-thread DML/query scripts over disjoint keyspaces.
+
+    Disjoint keyspaces make the final row *multiset* independent of the
+    thread interleaving; repro-mode aggregation then makes the final
+    query *bits* independent of it too (physical row order differs run
+    to run — the paper's order-invariance is what closes the gap).
+    """
+    scripts = []
+    for thread_id in range(SERVING_THREADS):
+        rng = np.random.default_rng(20180419 + thread_id)
+        ops = []
+        base = thread_id * 100
+        for _ in range(SERVING_STEPS):
+            roll = rng.random()
+            key = base + int(rng.integers(0, 5))
+            value = float(
+                rng.choice([-1.0, 1.0]) * np.exp2(rng.uniform(-40, 40))
+            )
+            if roll < 0.55:
+                ops.append(
+                    f"INSERT INTO {{table}} VALUES ({key}, {value!r})"
+                )
+            elif roll < 0.68:
+                ops.append(f"DELETE FROM {{table}} WHERE k = {key}")
+            elif roll < 0.78:
+                ops.append(
+                    f"UPDATE {{table}} SET v = v * -0.5 WHERE k = {key}"
+                )
+            elif roll < 0.88:
+                ops.append("REFRESH MATERIALIZED VIEW {view}")
+            else:
+                ops.append(
+                    "SELECT k, SUM(v) FROM {table} GROUP BY k ORDER BY k"
+                )
+        scripts.append(ops)
+    return scripts
+
+
+def _concurrent_serving(db):
+    """The concurrent-serving leg: 8 sessions replay seeded
+    INSERT/DELETE/UPDATE/REFRESH/SELECT scripts *concurrently* against
+    one table, a serial round-robin replays the same scripts against a
+    second table in the same database, and the two final results must
+    be byte-identical — snapshot-isolated MVCC reads plus statement
+    atomicity turned into the same cross-leg gate as everything else.
+    """
+    import threading
+
+    scripts = _serving_scripts()
+    setup = db.session()
+    for suffix in ("", "_serial"):
+        setup.execute(f"CREATE TABLE cs{suffix} (k INT, v DOUBLE)")
+        setup.execute(
+            f"CREATE MATERIALIZED VIEW cs_totals{suffix} AS "
+            f"SELECT k, SUM(v) AS sv FROM cs{suffix} GROUP BY k"
+        )
+
+    failures = []
+    barrier = threading.Barrier(SERVING_THREADS)
+
+    def run(ops):
+        session = db.session()
+        try:
+            barrier.wait()
+            for sql in ops:
+                session.execute(sql.format(table="cs", view="cs_totals"))
+        except Exception as exc:  # pragma: no cover - diagnostic
+            failures.append(exc)
+        finally:
+            session.close()
+
+    threads = [
+        threading.Thread(target=run, args=(ops,)) for ops in scripts
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise SystemExit(f"concurrent_serving: session failed: {failures[0]}")
+
+    serial = db.session()
+    for step in range(SERVING_STEPS):
+        for ops in scripts:
+            serial.execute(
+                ops[step].format(table="cs_serial", view="cs_totals_serial")
+            )
+
+    concurrent_result = setup.execute(
+        SERVING_QUERY_TEMPLATE.format(table="cs")
+    )
+    serial_result = setup.execute(
+        SERVING_QUERY_TEMPLATE.format(table="cs_serial")
+    )
+    if canonical_bytes(concurrent_result) != canonical_bytes(serial_result):
+        raise SystemExit(
+            "NON-REPRODUCIBLE: concurrent_serving bits differ from the "
+            "serial replay of the same scripts"
+        )
+    return concurrent_result
+
+
 def tpch_scale() -> float:
     default = str(DEFAULT_TPCH_SCALE)
     return float(os.environ.get("REPRO_DIGEST_TPCH_SCALE", default))
@@ -206,6 +318,7 @@ QUERIES = (
     ("edge_keys", "edge", EDGE_QUERY, False),
     ("join_edge_keys", "join_edge", JOIN_EDGE_QUERY, True),
     ("view_maintenance", None, _view_maintenance, False),
+    ("concurrent_serving", None, _concurrent_serving, False),
 )
 
 

@@ -38,11 +38,32 @@ from .core import (
     optimal_buffer_size,
     reproducible_sum,
 )
+from .errors import (
+    AdmissionError,
+    BindError,
+    CatalogError,
+    ConfigError,
+    ConnectionClosed,
+    ParseError,
+    ProtocolError,
+    QueryTimeout,
+    ReproError,
+)
 from .fp import same_bits
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ReproError",
+    "ParseError",
+    "BindError",
+    "CatalogError",
+    "ConfigError",
+    "AdmissionError",
+    "QueryTimeout",
+    "ProtocolError",
+    "ConnectionClosed",
+    "connect",
     "reproducible_sum",
     "reproducible_dot",
     "reproducible_mean",
@@ -60,6 +81,18 @@ __all__ = [
     "group_sum",
     "__version__",
 ]
+
+
+def connect(address, **kwargs):
+    """Open a network :class:`~repro.client.RemoteSession` to a repro
+    server (convenience facade over :func:`repro.client.connect`).
+
+    ``address`` is ``(host, port)`` for TCP or a filesystem path for a
+    unix socket.
+    """
+    from .client import connect as _connect
+
+    return _connect(address, **kwargs)
 
 
 def group_sum(keys, values, **kwargs):

@@ -16,6 +16,14 @@ repro modes the result bits are invariant under the ``workers``,
 :mod:`repro.aggregation.external_agg`); in IEEE mode they may drift.
 """
 
+from ..errors import (
+    AdmissionError,
+    CatalogError,
+    ConfigError,
+    ParseError,
+    QueryTimeout,
+    ReproError,
+)
 from .catalog import Catalog
 from .executor import (
     QueryResult,
@@ -61,8 +69,9 @@ from .physical import (
     render_physical,
 )
 from .plan import BindError, bind_select, render_plan
-from .session import Database
+from .session import Database, Session
 from .sql import SqlLexError, SqlParseError, parse, parse_expression, tokenize
+from .table import VersionClock
 from .vectorized import (
     SortedMorsel,
     VectorizedGroupTable,
@@ -88,7 +97,15 @@ from .types import (
 
 __all__ = [
     "Database",
+    "Session",
     "Catalog",
+    "VersionClock",
+    "ReproError",
+    "ParseError",
+    "CatalogError",
+    "ConfigError",
+    "AdmissionError",
+    "QueryTimeout",
     "ExecutionContext",
     "PipelineStats",
     "DEFAULT_MORSEL_SIZE",

@@ -1,8 +1,18 @@
-"""Table + materialized-view catalog."""
+"""Table + materialized-view catalog.
+
+The catalog also owns the database's **version clock**
+(:class:`~repro.engine.table.VersionClock`): every table it holds is
+attached to the shared clock, so row versions are drawn from one
+monotone counter across the whole database.  That is what makes a
+single pinned clock value a consistent MVCC snapshot over every table
+(:meth:`~repro.engine.table.VersionClock.stable`), which the serving
+layer's snapshot-isolated reads are built on.
+"""
 
 from __future__ import annotations
 
-from .table import Schema, Table
+from ..errors import CatalogError
+from .table import Schema, Table, VersionClock
 from .types import type_from_name
 
 __all__ = ["Catalog"]
@@ -15,35 +25,39 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         #: view name -> MaterializedView (:mod:`repro.engine.matview`)
         self._views: dict[str, object] = {}
+        #: shared monotone DML clock; every held table stamps row
+        #: versions from it
+        self.clock = VersionClock()
 
     # -- tables ------------------------------------------------------------
     def create_table(self, name: str, columns: list[tuple[str, object]]) -> Table:
         low = name.lower()
         if low in self._tables:
-            raise ValueError(f"table {name!r} already exists")
+            raise CatalogError(f"table {name!r} already exists")
         if low in self._views:
-            raise ValueError(f"{name!r} names a materialized view")
+            raise CatalogError(f"{name!r} names a materialized view")
         resolved = []
         for col_name, sql_type in columns:
             if isinstance(sql_type, str):
                 sql_type = type_from_name(sql_type)
             resolved.append((col_name, sql_type))
-        table = Table(low, Schema(resolved))
+        table = Table(low, Schema(resolved), clock=self.clock)
         self._tables[low] = table
         return table
 
     def add(self, table: Table) -> None:
         if table.name in self._tables:
-            raise ValueError(f"table {table.name!r} already exists")
+            raise CatalogError(f"table {table.name!r} already exists")
         if table.name in self._views:
-            raise ValueError(f"{table.name!r} names a materialized view")
+            raise CatalogError(f"{table.name!r} names a materialized view")
+        table.attach_clock(self.clock)
         self._tables[table.name] = table
 
     def get(self, name: str) -> Table:
         try:
             return self._tables[name.lower()]
         except KeyError:
-            raise KeyError(f"no table {name!r}") from None
+            raise CatalogError(f"no table {name!r}") from None
 
     def drop(self, name: str, if_exists: bool = False) -> bool:
         low = name.lower()
@@ -53,14 +67,14 @@ class Catalog:
                 if view.table_name == low
             ]
             if dependents:
-                raise ValueError(
+                raise CatalogError(
                     f"table {name!r} has dependent materialized views: "
                     + ", ".join(sorted(dependents))
                 )
             del self._tables[low]
             return True
         if not if_exists:
-            raise KeyError(f"no table {name!r}")
+            raise CatalogError(f"no table {name!r}")
         return False
 
     def names(self) -> list[str]:
@@ -72,18 +86,18 @@ class Catalog:
     # -- materialized views ------------------------------------------------
     def create_view(self, view) -> None:
         if view.name in self._views:
-            raise ValueError(
+            raise CatalogError(
                 f"materialized view {view.name!r} already exists"
             )
         if view.name in self._tables:
-            raise ValueError(f"{view.name!r} names a table")
+            raise CatalogError(f"{view.name!r} names a table")
         self._views[view.name] = view
 
     def get_view(self, name: str):
         try:
             return self._views[name.lower()]
         except KeyError:
-            raise KeyError(f"no materialized view {name!r}") from None
+            raise CatalogError(f"no materialized view {name!r}") from None
 
     def drop_view(self, name: str, if_exists: bool = False) -> bool:
         low = name.lower()
@@ -91,7 +105,7 @@ class Catalog:
             del self._views[low]
             return True
         if not if_exists:
-            raise KeyError(f"no materialized view {name!r}")
+            raise CatalogError(f"no materialized view {name!r}")
         return False
 
     def view_names(self) -> list[str]:

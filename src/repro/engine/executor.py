@@ -103,29 +103,35 @@ def _to_python(value):
 
 
 def _plan(stmt: ast.Select, get_table, sum_config: SumConfig,
-          context: ExecutionContext, views=None):
+          context: ExecutionContext, views=None, snapshot=None):
     """Bind, optimize, and lower one SELECT.
 
     ``views`` (optional) is a ``table_name -> [MaterializedView]``
-    lookup; when a fresh view matches the optimized aggregate plan the
-    query is lowered onto a ``ViewScan`` instead of a base-table
-    pipeline.
+    lookup; when a matching view is fresh *as of the query's snapshot*
+    the query is lowered onto a ``ViewScan`` instead of a base-table
+    pipeline — the view's served state is captured at plan time, so a
+    concurrent REFRESH cannot tear the result.
     """
     logical = optimize(bind_select(stmt, get_table))
     if views is not None:
         from .matview import match_view, plan_view_scan
 
-        view = match_view(logical, views, sum_config)
+        view = match_view(logical, views, sum_config, snapshot=snapshot)
         if view is not None:
-            return logical, plan_view_scan(logical, view, context)
+            served = view.serve_as_of(snapshot)
+            if served is not None:
+                return logical, plan_view_scan(logical, view, context, served)
     physical = plan_physical(logical, context, sum_config)
     return logical, physical
 
 
 def explain_select(stmt: ast.Select, get_table, sum_config: SumConfig,
-                   context: ExecutionContext, views=None) -> str:
+                   context: ExecutionContext, views=None,
+                   snapshot=None) -> str:
     """EXPLAIN text: optimized logical plan + chosen physical plan."""
-    logical, physical = _plan(stmt, get_table, sum_config, context, views)
+    logical, physical = _plan(
+        stmt, get_table, sum_config, context, views, snapshot
+    )
     return (
         "== optimized logical plan ==\n"
         + render_plan(logical)
@@ -141,12 +147,21 @@ def execute_select(
     timings: OperatorTimings | None = None,
     context: ExecutionContext | None = None,
     views=None,
+    snapshot=None,
 ) -> QueryResult:
-    """Run a SELECT against the catalog accessor ``get_table``."""
+    """Run a SELECT against the catalog accessor ``get_table``.
+
+    ``snapshot`` (a row-version watermark) pins every table scan at
+    that version: the result bits are fixed at admission no matter what
+    other sessions commit while the query runs.  ``None`` reads the
+    latest committed state.
+    """
     if context is None:
         context = ExecutionContext()
-    _, physical = _plan(stmt, get_table, sum_config, context, views)
-    return _run_physical(physical, context, timings)
+    _, physical = _plan(
+        stmt, get_table, sum_config, context, views, snapshot
+    )
+    return _run_physical(physical, context, timings, snapshot)
 
 
 # ---------------------------------------------------------------------------
@@ -154,21 +169,29 @@ def execute_select(
 # ---------------------------------------------------------------------------
 
 
-def _scan_morsels(scan: PhysScan, morsel_size: int) -> list[Batch]:
+def _scan_morsels(scan: PhysScan, morsel_size: int,
+                  snapshot=None) -> list[Batch]:
     """Materialize one scan's morsel list (column views, renamed to the
-    binder's resolved keys, with dictionary encodings riding along)."""
+    binder's resolved keys, with dictionary encodings riding along).
+
+    ``snapshot`` pins row visibility at that version watermark; the
+    table hands back consistent array copies, so the morsels stay
+    valid while concurrent writers mutate the table.
+    """
     if scan.table is None:
         batch = Batch({}, {})
         batch.nrows = 1  # SELECT 1 + 1
         return [batch]
     source_columns = list(scan.column_map.values())
     encodings = scan.table.key_encodings(
-        [scan.column_map[key] for key in scan.encode_keys]
+        [scan.column_map[key] for key in scan.encode_keys],
+        snapshot=snapshot,
     )
     reverse = {source: key for key, source in scan.column_map.items()}
     morsels = []
     offset = 0
-    for chunk in scan.table.morsels(morsel_size, source_columns):
+    for chunk in scan.table.morsels(morsel_size, source_columns,
+                                    snapshot=snapshot):
         nrows = len(next(iter(chunk.values()))) if chunk else 0
         renamed = {
             reverse.get(name, name): arr for name, arr in chunk.items()
@@ -212,14 +235,14 @@ def _concat_batches(batches: list[Batch]) -> Batch:
 
 
 def _instantiate(chain: PhysPipeline, context: ExecutionContext,
-                 timings: OperatorTimings | None):
+                 timings: OperatorTimings | None, snapshot=None):
     """Materialize scan morsels and build every hash join in the chain.
 
     Returns ``(morsels, transform)`` where ``transform`` applies the
     chain's filters and probes to one morsel.
     """
     started = time.perf_counter()
-    morsels = _scan_morsels(chain.source, context.morsel_size)
+    morsels = _scan_morsels(chain.source, context.morsel_size, snapshot)
     if timings is not None:
         timings.add("scan", time.perf_counter() - started)
 
@@ -231,7 +254,7 @@ def _instantiate(chain: PhysPipeline, context: ExecutionContext,
                 lambda batch, p=predicate: apply_where(batch, p)
             )
         elif isinstance(op, PhysProbe):
-            join = _build_join(op, context, timings)
+            join = _build_join(op, context, timings, snapshot)
             steps.append(join.probe)
         else:  # pragma: no cover - planner emits only the two op kinds
             raise TypeError(f"unknown pipeline op {op!r}")
@@ -247,11 +270,12 @@ def _instantiate(chain: PhysPipeline, context: ExecutionContext,
 
 
 def _build_join(op: PhysProbe, context: ExecutionContext,
-                timings: OperatorTimings | None) -> HashJoin:
+                timings: OperatorTimings | None,
+                snapshot=None) -> HashJoin:
     """Materialize the build side (a pipeline breaker) serially and
     construct the hash table."""
     build_morsels, build_transform = _instantiate(
-        op.build, context, timings
+        op.build, context, timings, snapshot
     )
     started = time.perf_counter()
     built = []
@@ -274,16 +298,28 @@ def _build_join(op: PhysProbe, context: ExecutionContext,
 
 
 def _run_physical(query: PhysicalQuery, context: ExecutionContext,
-                  timings: OperatorTimings | None) -> QueryResult:
+                  timings: OperatorTimings | None,
+                  snapshot=None) -> QueryResult:
     if query.view_scan is not None:
         # Serve from the matched materialized view's finalized state —
-        # no base-table scan, no aggregation.
-        view = query.view_scan.view
+        # no base-table scan, no aggregation.  Prefer the state tuple
+        # captured at plan time: a REFRESH committed since then must
+        # not bleed into this query's snapshot.
+        served = query.view_scan.served
+        if served is not None:
+            _, key_arrays, agg_results, ngroups = served
+        else:
+            view = query.view_scan.view
+            key_arrays = view.key_arrays
+            agg_results = view.agg_results
+            ngroups = view.ngroups
         names, arrays = _finish_grouped(
-            query, view.key_arrays, dict(view.agg_results), view.ngroups
+            query, key_arrays, dict(agg_results), ngroups
         )
     else:
-        morsels, transform = _instantiate(query.pipeline, context, timings)
+        morsels, transform = _instantiate(
+            query.pipeline, context, timings, snapshot
+        )
         if query.aggregate is not None:
             key_arrays, results, ngroups = _grouped_arrays(
                 query, morsels, transform, context, timings

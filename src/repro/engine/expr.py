@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from .sql import ast
+from ..errors import BindError as WireBindError
 from .types import DecimalSqlType, SqlType, parse_date
 
 __all__ = [
@@ -28,8 +29,13 @@ __all__ = [
 ]
 
 
-class ExprError(ValueError):
-    """Evaluation or binding error."""
+class ExprError(WireBindError):
+    """Evaluation or binding error.
+
+    Derives from the wire-level :class:`repro.errors.BindError`, so the
+    serving layer serializes expression failures as typed bind errors
+    (and still from ``ValueError``, which callers historically caught).
+    """
 
 
 def evaluate(

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import BindError
 from .operators import Batch, PartialGroupTable, SumConfig, _CountState
 from .optimizer import optimize
 from .physical import (
@@ -67,7 +68,7 @@ __all__ = [
 ]
 
 
-class ViewDefinitionError(ValueError):
+class ViewDefinitionError(BindError):
     """The SELECT cannot define an incrementally-maintainable view."""
 
 
@@ -268,6 +269,12 @@ class MaterializedView:
         self.key_arrays: list[np.ndarray] = []
         self.agg_results: dict[str, np.ndarray] = {}
         self.ngroups = 0
+        #: atomically-swapped served state:
+        #: ``(watermark, key_arrays, agg_results, ngroups)``.  Readers
+        #: grab the whole tuple in one reference read, so a concurrent
+        #: REFRESH can never hand them keys from one refresh and
+        #: aggregates from another.
+        self._served = None
         self._populated = False
         self.refresh_count = 0
 
@@ -275,6 +282,27 @@ class MaterializedView:
     def is_fresh(self) -> bool:
         """True when the view has consumed every base-table mutation."""
         return self._populated and self.watermark == self.table.version
+
+    def serve_as_of(self, snapshot: int | None = None):
+        """The served state tuple if this view can answer a query
+        pinned at ``snapshot``, else ``None``.
+
+        With a snapshot, the view is servable when no base-table
+        mutation separates its consumed watermark from the snapshot —
+        the view contents at its watermark are then byte-identical to
+        aggregating the snapshot.  (The watermark may even be *ahead*
+        of an older snapshot, as long as nothing changed in between.)
+        Without a snapshot, it must be exactly current.
+        """
+        served = self._served
+        if served is None:
+            return None
+        watermark = served[0]
+        if snapshot is None:
+            return served if watermark == self.table.version else None
+        if self.table.changed_between(watermark, snapshot):
+            return None
+        return served
 
     def matches_config(self, sum_config: SumConfig) -> bool:
         return (
@@ -299,6 +327,9 @@ class MaterializedView:
             consumed = self._refresh_full(context)
         self.watermark = self.table.version
         self._populated = True
+        self._served = (
+            self.watermark, self.key_arrays, self.agg_results, self.ngroups
+        )
         self.refresh_count += 1
         return consumed
 
@@ -394,14 +425,16 @@ class MaterializedView:
 
 
 def match_view(logical: LogicalNode, views_for_table,
-               sum_config: SumConfig) -> MaterializedView | None:
+               sum_config: SumConfig,
+               snapshot: int | None = None) -> MaterializedView | None:
     """A fresh view that can answer this optimized aggregate plan.
 
     The query must aggregate one base table with the same (optimized)
     predicate and the same group-key list, and every aggregate it
-    computes must be one the view maintains.  Staleness or a changed
-    SUM configuration disqualify the view — the query falls back to
-    the base scan.
+    computes must be one the view maintains.  Staleness — relative to
+    ``snapshot`` when the query is pinned, else to the latest committed
+    state — or a changed SUM configuration disqualify the view; the
+    query falls back to the base scan.
     """
     shape = _shape_of(logical)
     if shape is None:
@@ -409,7 +442,9 @@ def match_view(logical: LogicalNode, views_for_table,
     for view in views_for_table(shape.scan.table.name):
         if view.table is not shape.scan.table:
             continue
-        if not view.is_fresh() or not view.matches_config(sum_config):
+        if view.serve_as_of(snapshot) is None:
+            continue
+        if not view.matches_config(sum_config):
             continue
         if shape.predicate_sql != view.predicate_sql:
             continue
@@ -422,8 +457,14 @@ def match_view(logical: LogicalNode, views_for_table,
 
 
 def plan_view_scan(logical: LogicalNode, view: MaterializedView,
-                   context: ExecutionContext) -> PhysicalQuery:
-    """Lower a matched aggregate plan onto the view's finalized state."""
+                   context: ExecutionContext,
+                   served=None) -> PhysicalQuery:
+    """Lower a matched aggregate plan onto the view's finalized state.
+
+    ``served`` is the state tuple captured by the planner at match
+    time; baking it into the physical plan makes the ViewScan immune
+    to REFRESHes that commit between planning and execution.
+    """
     shape = _AggregateShape(logical)
     return PhysicalQuery(
         pipeline=None,
@@ -436,5 +477,5 @@ def plan_view_scan(logical: LogicalNode, view: MaterializedView,
         column_types=plan_column_types(logical),
         workers=context.workers,
         morsel_size=context.morsel_size,
-        view_scan=PhysViewScan(view),
+        view_scan=PhysViewScan(view, served),
     )

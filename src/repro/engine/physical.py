@@ -174,6 +174,10 @@ class PhysViewScan:
     view's finalized state (no base-table scan at all)."""
 
     view: object  # engine MaterializedView
+    #: served-state tuple ``(watermark, key_arrays, agg_results,
+    #: ngroups)`` captured at plan time (``None`` = read the view's
+    #: live attributes at execution, the pre-MVCC behavior)
+    served: tuple | None = None
 
     def describe(self) -> str:
         view = self.view

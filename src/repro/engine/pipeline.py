@@ -32,6 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from ..errors import ConfigError
 from .expr import evaluate
 from .operators import (
     AggregateSpec,
@@ -77,11 +78,11 @@ class ExecutionContext:
         workers = int(workers)
         morsel_size = int(morsel_size)
         if workers < 1:
-            raise ValueError("workers must be >= 1")
+            raise ConfigError("workers must be >= 1")
         if morsel_size < 1:
-            raise ValueError("morsel_size must be >= 1")
+            raise ConfigError("morsel_size must be >= 1")
         if join_build not in self.JOIN_BUILD_SIDES:
-            raise ValueError(
+            raise ConfigError(
                 f"join_build must be one of {self.JOIN_BUILD_SIDES}"
             )
         self.workers = workers
@@ -153,11 +154,11 @@ class ExecutionContext:
         one byte would be a nasty surprise) and naming the knob for
         non-numeric values."""
         if isinstance(value, float) and not value.is_integer():
-            raise ValueError(f"{name} must be an integer, got {value!r}")
+            raise ConfigError(f"{name} must be an integer, got {value!r}")
         try:
             return int(value)
         except (TypeError, ValueError):
-            raise ValueError(
+            raise ConfigError(
                 f"{name} expects an integer value, got {value!r}"
             ) from None
 
@@ -175,7 +176,7 @@ class ExecutionContext:
                 return True
             if low in ("false", "off", "no", "0"):
                 return False
-        raise ValueError(
+        raise ConfigError(
             f"{name} expects a boolean value "
             f"(TRUE/FALSE, on/off, 0/1), got {value!r}"
         )
@@ -189,21 +190,21 @@ class ExecutionContext:
                 return None
         value = cls._as_int(value, "memory budget")
         if value < 0:
-            raise ValueError("memory budget must be >= 0 (0 = unbounded)")
+            raise ConfigError("memory budget must be >= 0 (0 = unbounded)")
         return None if value == 0 else value
 
     @classmethod
     def _check_partitions(cls, value) -> int:
         value = cls._as_int(value, "spill_partitions")
         if value < 1:
-            raise ValueError("spill_partitions must be >= 1")
+            raise ConfigError("spill_partitions must be >= 1")
         return value
 
     @classmethod
     def _check_fanin(cls, value) -> int:
         value = cls._as_int(value, "spill_merge_fanin")
         if value != 0 and value < 2:
-            raise ValueError(
+            raise ConfigError(
                 "spill_merge_fanin must be 0 (unbounded) or >= 2"
             )
         return value
@@ -233,7 +234,7 @@ class ExecutionContext:
         elif key == "workers":
             workers = self._as_int(value, "workers")
             if workers < 1:
-                raise ValueError("workers must be >= 1")
+                raise ConfigError("workers must be >= 1")
             if workers != self.workers:
                 self._invalidate_kernels()
                 if self._pool is not None:
@@ -248,7 +249,7 @@ class ExecutionContext:
         elif key == "morsel_size":
             morsel_size = self._as_int(value, "morsel_size")
             if morsel_size < 1:
-                raise ValueError("morsel_size must be >= 1")
+                raise ConfigError("morsel_size must be >= 1")
             self.morsel_size = morsel_size
         elif key == "vectorized":
             vectorized = self._as_bool(value, "vectorized")
@@ -260,12 +261,12 @@ class ExecutionContext:
         elif key == "join_build":
             side = str(value).lower()
             if side not in self.JOIN_BUILD_SIDES:
-                raise ValueError(
+                raise ConfigError(
                     f"join_build must be one of {self.JOIN_BUILD_SIDES}"
                 )
             self.join_build = side
         else:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown session parameter {name!r}; valid parameters: "
                 + ", ".join(self.PARAM_NAMES)
             )
@@ -280,6 +281,16 @@ class ExecutionContext:
                 self, self._pool.shutdown, wait=False
             )
         return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool now (sessions call this on
+        close; GC would get there eventually via the finalizer)."""
+        if self._pool is not None:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            self._pool.shutdown(wait=False)
+            self._pool = None
 
 
 class PipelineStats:

@@ -1,17 +1,41 @@
-"""Database session facade: ``db.execute(sql)``.
+"""Sessions and the database facade: ``db.session().execute(sql)``.
 
-The session owns the catalog, the SUM configuration, and per-query
-operator timings (the measurement behind Table IV).  DML follows
-MonetDB/PostgreSQL storage semantics — UPDATE masks old row versions
-and appends new ones, physically reordering the table — which is what
-lets :mod:`examples.algorithm1_sql` replay the paper's Algorithm 1
-verbatim.
+PR 7 splits the old monolithic ``Database`` in two:
+
+* :class:`Database` owns what is *shared* across connections — the
+  catalog (tables, materialized views) and the version clock behind
+  MVCC snapshots.  It no longer executes anything itself;
+  :meth:`Database.execute` survives as a thin deprecated delegate to an
+  implicit default session.
+* :class:`Session` owns what is *per connection* — the SUM
+  configuration, the execution knobs (``workers`` / ``morsel_size`` /
+  ``vectorized`` / ``fused`` / ``memory_budget`` / spill shape /
+  ``join_build``), per-query timings, and snapshot pinning.  Both the
+  local embedding (``db.session()``) and the network client
+  (:func:`repro.client.connect`) present this same surface, so code
+  written against one runs unchanged against the other.
+
+Reads are **snapshot-isolated**: a SELECT pins the database's
+committed-version watermark at admission
+(:attr:`~repro.engine.table.VersionClock.stable`) and scans every
+table at that version, so its result bits are fixed at admission no
+matter what INSERT/DELETE/UPDATE/REFRESH other sessions commit while
+it runs.  Writers serialize per table through ``Table.lock``; readers
+never wait for them.
+
+DML follows MonetDB/PostgreSQL storage semantics — UPDATE masks old
+row versions and appends new ones, physically reordering the table —
+which is what lets :mod:`examples.algorithm1_sql` replay the paper's
+Algorithm 1 verbatim.
 """
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
+from ..errors import ReproError
 from .catalog import Catalog
 from .executor import QueryResult, execute_select, explain_select
 from .expr import evaluate
@@ -20,59 +44,43 @@ from .pipeline import DEFAULT_MORSEL_SIZE, ExecutionContext, PipelineStats
 from .sql import ast, parse
 from .types import type_from_name
 
-__all__ = ["Database"]
+__all__ = ["Database", "Session"]
 
 
-class Database:
-    """An in-memory SQL database with configurable SUM semantics.
+class Session:
+    """One connection's execution state over a shared :class:`Database`.
 
-    ``workers`` and ``morsel_size`` configure the morsel-driven parallel
-    pipeline (:mod:`repro.engine.pipeline`).  In the repro sum modes the
-    result bits are identical for every setting of either knob; in IEEE
-    mode they may drift — the paper's point, now demonstrable with two
-    session parameters.
+    Owns the session-scoped knobs — SUM semantics (``sum_mode`` /
+    ``levels`` / ``buffer_size``) and the execution shape (``workers``,
+    ``morsel_size``, ``vectorized``, ``fused``, ``join_build``,
+    ``memory_budget``, ``spill_partitions``, ``spill_merge_fanin``) —
+    plus :attr:`last_timings` and :attr:`last_pipeline_stats` for the
+    most recent SELECT.  Catalog state (tables, views) is shared with
+    every other session of the same database.
 
-    ``vectorized`` (default on) runs GROUP BY plans through the batched
-    columnar kernels of :mod:`repro.engine.vectorized` — dictionary-
-    encoded keys, one shared sort per morsel, segment reductions for the
-    reproducible sums.  The result bits match the scalar path for every
-    sum mode; plans the kernels cannot express fall back to the scalar
-    path automatically.
+    Every SELECT pins the database's committed-version watermark at
+    admission and reads all tables at that snapshot;
+    :meth:`snapshot` pins one watermark across several statements.
 
-    ``fused`` (default on) compiles qualifying vectorized GROUP BY
-    plans — single-table scan, filters only, supported expressions —
-    into one generated per-morsel kernel (:mod:`repro.engine.fused`),
-    cached per plan signature on the execution context.  Bits are
-    identical with the knob on or off; non-qualifying plans run the
-    interpreted vectorized path regardless.
-
-    ``memory_budget`` (bytes; ``None`` = unbounded) caps aggregation
-    memory: plans whose estimated group state exceeds it run through
-    the out-of-core external GROUP BY
-    (:mod:`repro.aggregation.external_agg`), which spills radix
-    partitions of partial aggregate state to disk and re-merges them
-    exactly.  ``spill_partitions`` and ``spill_merge_fanin`` tune the
-    fan-out and merge-pass shape.  In the repro sum modes the result
-    bits are invariant under all three knobs; all are also settable at
-    runtime via ``SET <name> = <value>``.
-
-    >>> db = Database(sum_mode="repro")
-    >>> db.execute("CREATE TABLE r (i INT, f DOUBLE)")
+    >>> db = Database()
+    >>> s = db.session(sum_mode="repro", workers=4)
+    >>> s.execute("CREATE TABLE r (f DOUBLE)")
     0
-    >>> db.execute("INSERT INTO r VALUES (1, 0.5), (2, 0.25)")
+    >>> s.execute("INSERT INTO r VALUES (0.5), (0.25)")
     2
-    >>> db.execute("SELECT SUM(f) FROM r").scalar()
+    >>> s.execute("SELECT SUM(f) FROM r").scalar()
     0.75
     """
 
-    def __init__(self, sum_mode: str = "ieee", levels: int = 2,
-                 buffer_size: int | None = None, workers: int = 1,
-                 morsel_size: int = DEFAULT_MORSEL_SIZE,
+    def __init__(self, database: Database, sum_mode: str = "ieee",
+                 levels: int = 2, buffer_size: int | None = None,
+                 workers: int = 1, morsel_size: int = DEFAULT_MORSEL_SIZE,
                  vectorized: bool = True, join_build: str = "auto",
                  memory_budget: int | None = None,
                  spill_partitions: int | None = None,
                  spill_merge_fanin: int = 0, fused: bool = True):
-        self.catalog = Catalog()
+        self.database = database
+        self.catalog = database.catalog
         self.sum_config = SumConfig(sum_mode, levels, buffer_size)
         self.execution_context = ExecutionContext(
             workers, morsel_size, vectorized, join_build,
@@ -82,7 +90,13 @@ class Database:
             fused=fused,
         )
         self.last_timings: OperatorTimings | None = None
+        #: explicit pin from :meth:`snapshot` (``None`` = pin per query)
+        self._pinned: int | None = None
+        #: test hook: called with the pinned version right after query
+        #: admission, before any scan materializes
+        self._after_pin = None
 
+    # -- knob surface ------------------------------------------------------
     @property
     def memory_budget(self) -> int | None:
         """Aggregation memory budget in bytes (``None`` = unbounded).
@@ -102,6 +116,28 @@ class Database:
         """Pipeline accounting of the most recent SELECT."""
         return self.execution_context.last_stats
 
+    # -- snapshots ---------------------------------------------------------
+    def pin_snapshot(self) -> int:
+        """The version watermark a query admitted now would read at."""
+        if self._pinned is not None:
+            return self._pinned
+        return self.catalog.clock.stable
+
+    @contextlib.contextmanager
+    def snapshot(self):
+        """Pin one snapshot across every SELECT in the block.
+
+        Reads inside the block see the database exactly as it stood at
+        entry — byte-identically — regardless of concurrent (or even
+        this session's own) writes.  Yields the pinned version.
+        """
+        previous = self._pinned
+        self._pinned = self.catalog.clock.stable
+        try:
+            yield self._pinned
+        finally:
+            self._pinned = previous
+
     # -- public API -------------------------------------------------------
     def execute(self, sql_text: str):
         """Run one SQL statement.
@@ -113,10 +149,14 @@ class Database:
         if isinstance(stmt, ast.Explain):
             return self._explain(stmt.query)
         if isinstance(stmt, ast.Select):
+            snapshot = self.pin_snapshot()
+            if self._after_pin is not None:
+                self._after_pin(snapshot)
             timings = OperatorTimings()
             result = execute_select(
                 stmt, self.catalog.get, self.sum_config, timings,
                 self.execution_context, views=self.catalog.views_on,
+                snapshot=snapshot,
             )
             self.last_timings = timings
             return result
@@ -138,7 +178,11 @@ class Database:
             )
             self.catalog.create_view(view)
             try:
-                view.refresh(self.execution_context)
+                # The initial population is a write to the view: hold
+                # the base table's statement lock so no DML can slip
+                # between the delta read and the consumed watermark.
+                with view.table.lock:
+                    view.refresh(self.execution_context)
             except BaseException:
                 # A failed initial population must not leave a broken
                 # view registered (it would also block DROP TABLE).
@@ -147,7 +191,8 @@ class Database:
             return 0
         if isinstance(stmt, ast.RefreshMaterializedView):
             view = self.catalog.get_view(stmt.name)
-            return view.refresh(self.execution_context)
+            with view.table.lock:
+                return view.refresh(self.execution_context)
         if isinstance(stmt, ast.DropMaterializedView):
             self.catalog.drop_view(stmt.name, stmt.if_exists)
             return 0
@@ -184,10 +229,15 @@ class Database:
             raise TypeError("explain() expects a SELECT statement")
         return self._explain(stmt)
 
+    def close(self) -> None:
+        """Release session resources (the worker pool).  The catalog
+        belongs to the database and is untouched."""
+        self.execution_context.close()
+
     def _explain(self, stmt: ast.Select) -> str:
         return explain_select(
             stmt, self.catalog.get, self.sum_config, self.execution_context,
-            views=self.catalog.views_on,
+            views=self.catalog.views_on, snapshot=self.pin_snapshot(),
         )
 
     # -- DML ------------------------------------------------------------------
@@ -195,12 +245,17 @@ class Database:
         table = self.catalog.get(stmt.table)
         columns = list(stmt.columns) or table.schema.names()
         if stmt.select is not None:
-            # INSERT INTO t SELECT ...: run the query, append the rows
-            # as one versioned chunk.
+            # INSERT INTO t SELECT ...: run the query (through the
+            # same timing path as a top-level SELECT — the sub-SELECT
+            # is a full pipeline run), then append the rows as one
+            # versioned chunk.
+            timings = OperatorTimings()
             result = execute_select(
-                stmt.select, self.catalog.get, self.sum_config, None,
+                stmt.select, self.catalog.get, self.sum_config, timings,
                 self.execution_context, views=self.catalog.views_on,
+                snapshot=self.pin_snapshot(),
             )
+            self.last_timings = timings
             if len(result.names) != len(columns):
                 raise ValueError(
                     f"INSERT arity mismatch: {len(columns)} target "
@@ -222,56 +277,187 @@ class Database:
         """MonetDB/PostgreSQL-style UPDATE: mask old versions, append new.
 
         This physically reorders the table — the storage-layer effect
-        behind the paper's Algorithm 1.
+        behind the paper's Algorithm 1.  The mask and the re-insert
+        are applied under one row version (``Table.replace_rows``), so
+        snapshot readers see the statement atomically.
         """
         table = self.catalog.get(stmt.table)
-        columns, valid = table.physical_scan()
-        types = {n: table.schema.type_of(n) for n in table.schema.names()}
-        if stmt.where is not None:
-            mask = np.asarray(evaluate(stmt.where, columns, types))
-            if mask.shape == ():
-                mask = np.full(len(valid), bool(mask))
-            mask = mask.astype(bool) & valid
-        else:
-            mask = valid.copy()
-        hit = np.flatnonzero(mask)
-        if hit.size == 0:
-            return 0
-        # Compute new values over the hit rows (old values visible).
-        hit_batch = {name: arr[hit] for name, arr in columns.items()}
-        new_values = {}
-        for name, expr in stmt.assignments:
-            result = np.asarray(evaluate(expr, hit_batch, types))
-            if result.shape == ():
-                result = np.full(hit.size, result)
-            new_values[name.lower()] = result
-        # Mask the old versions, then append the new ones at the tail.
-        table.mask_rows(hit)
-        rows = []
-        for i in range(hit.size):
-            row = {}
-            for name in table.schema.names():
-                sql_type = table.schema.type_of(name)
-                if name in new_values:
-                    row[name] = _np_to_python(new_values[name][i])
-                else:
-                    row[name] = sql_type.to_python(hit_batch[name][i])
-            rows.append(row)
-        table.append_versions(rows)
-        return hit.size
+        with table.lock:
+            columns, valid = table.physical_scan()
+            types = {n: table.schema.type_of(n) for n in table.schema.names()}
+            if stmt.where is not None:
+                mask = np.asarray(evaluate(stmt.where, columns, types))
+                if mask.shape == ():
+                    mask = np.full(len(valid), bool(mask))
+                mask = mask.astype(bool) & valid
+            else:
+                mask = valid.copy()
+            hit = np.flatnonzero(mask)
+            if hit.size == 0:
+                return 0
+            # Compute new values over the hit rows (old values visible).
+            hit_batch = {name: arr[hit] for name, arr in columns.items()}
+            new_values = {}
+            for name, expr in stmt.assignments:
+                result = np.asarray(evaluate(expr, hit_batch, types))
+                if result.shape == ():
+                    result = np.full(hit.size, result)
+                new_values[name.lower()] = result
+            # Mask the old versions and append the new ones at the
+            # tail, atomically under one version.
+            rows = []
+            for i in range(hit.size):
+                row = {}
+                for name in table.schema.names():
+                    sql_type = table.schema.type_of(name)
+                    if name in new_values:
+                        row[name] = _np_to_python(new_values[name][i])
+                    else:
+                        row[name] = sql_type.to_python(hit_batch[name][i])
+                rows.append(row)
+            table.replace_rows(hit, rows)
+            return hit.size
 
     def _execute_delete(self, stmt: ast.Delete) -> int:
         table = self.catalog.get(stmt.table)
-        columns, valid = table.physical_scan()
-        types = {n: table.schema.type_of(n) for n in table.schema.names()}
-        if stmt.where is not None:
-            mask = np.asarray(evaluate(stmt.where, columns, types))
-            if mask.shape == ():
-                mask = np.full(len(valid), bool(mask))
-            mask = mask.astype(bool) & valid
-        else:
-            mask = valid.copy()
-        return table.mask_rows(np.flatnonzero(mask))
+        with table.lock:
+            columns, valid = table.physical_scan()
+            types = {n: table.schema.type_of(n) for n in table.schema.names()}
+            if stmt.where is not None:
+                mask = np.asarray(evaluate(stmt.where, columns, types))
+                if mask.shape == ():
+                    mask = np.full(len(valid), bool(mask))
+                mask = mask.astype(bool) & valid
+            else:
+                mask = valid.copy()
+            return table.mask_rows(np.flatnonzero(mask))
+
+
+class Database:
+    """Shared catalog + storage; execution lives in :class:`Session`.
+
+    The constructor knobs are *defaults* for the sessions it creates —
+    ``db.session()`` inherits them, ``db.session(workers=8)``
+    overrides per connection.  In the repro sum modes the result bits
+    are identical for every setting of every execution knob; in IEEE
+    mode they may drift — the paper's point, now demonstrable with two
+    session parameters.
+
+    ``Database.execute(...)``, ``explain``, ``last_timings`` etc.
+    remain as **deprecated** thin delegates to an implicit default
+    session, so single-session code (and years of tests) run
+    unchanged.  New code — and anything concurrent — should hold an
+    explicit :class:`Session` per logical connection.
+
+    >>> db = Database(sum_mode="repro")
+    >>> db.execute("CREATE TABLE r (i INT, f DOUBLE)")
+    0
+    >>> db.execute("INSERT INTO r VALUES (1, 0.5), (2, 0.25)")
+    2
+    >>> db.execute("SELECT SUM(f) FROM r").scalar()
+    0.75
+    """
+
+    def __init__(self, sum_mode: str = "ieee", levels: int = 2,
+                 buffer_size: int | None = None, workers: int = 1,
+                 morsel_size: int = DEFAULT_MORSEL_SIZE,
+                 vectorized: bool = True, join_build: str = "auto",
+                 memory_budget: int | None = None,
+                 spill_partitions: int | None = None,
+                 spill_merge_fanin: int = 0, fused: bool = True):
+        self.catalog = Catalog()
+        #: session-construction defaults (:meth:`session` overrides)
+        self.session_defaults = {
+            "sum_mode": sum_mode,
+            "levels": levels,
+            "buffer_size": buffer_size,
+            "workers": workers,
+            "morsel_size": morsel_size,
+            "vectorized": vectorized,
+            "join_build": join_build,
+            "memory_budget": memory_budget,
+            "spill_partitions": spill_partitions,
+            "spill_merge_fanin": spill_merge_fanin,
+            "fused": fused,
+        }
+        # Created eagerly: constructing it validates every default
+        # knob at Database() time, exactly as the monolithic class did
+        # (the worker pool inside is still lazy).
+        self._default_session = self.session()
+
+    # -- sessions ----------------------------------------------------------
+    def session(self, **overrides) -> Session:
+        """A new :class:`Session` over this database.
+
+        Keyword overrides replace the database-level defaults for this
+        session only (``db.session(sum_mode="repro", workers=8)``).
+        """
+        unknown = set(overrides) - set(self.session_defaults)
+        if unknown:
+            raise ReproError(
+                f"unknown session options {sorted(unknown)}; valid: "
+                + ", ".join(sorted(self.session_defaults))
+            )
+        options = dict(self.session_defaults)
+        options.update(overrides)
+        return Session(self, **options)
+
+    @property
+    def default_session(self) -> Session:
+        """The implicit session behind the deprecated ``Database``
+        execution surface."""
+        return self._default_session
+
+    @property
+    def clock(self):
+        """The shared version clock (snapshot watermark source)."""
+        return self.catalog.clock
+
+    # -- deprecated single-session delegates -------------------------------
+    def execute(self, sql_text: str):
+        """Deprecated: delegates to the implicit default session.
+        Prefer ``db.session().execute(...)``."""
+        return self.default_session.execute(sql_text)
+
+    def explain(self, sql_text: str) -> str:
+        """Deprecated: delegates to the implicit default session."""
+        return self.default_session.explain(sql_text)
+
+    def view(self, name: str):
+        """The named materialized view (catalog accessor)."""
+        return self.catalog.get_view(name)
+
+    def table(self, name: str):
+        return self.catalog.get(name)
+
+    @property
+    def sum_config(self) -> SumConfig:
+        return self.default_session.sum_config
+
+    @property
+    def execution_context(self) -> ExecutionContext:
+        return self.default_session.execution_context
+
+    @property
+    def last_timings(self) -> OperatorTimings | None:
+        return self.default_session.last_timings
+
+    @last_timings.setter
+    def last_timings(self, value) -> None:
+        self.default_session.last_timings = value
+
+    @property
+    def last_pipeline_stats(self) -> PipelineStats | None:
+        """Pipeline accounting of the most recent SELECT."""
+        return self.default_session.last_pipeline_stats
+
+    @property
+    def memory_budget(self) -> int | None:
+        return self.default_session.memory_budget
+
+    @memory_budget.setter
+    def memory_budget(self, value) -> None:
+        self.default_session.memory_budget = value
 
 
 def _np_to_python(value):

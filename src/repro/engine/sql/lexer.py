@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ...errors import ParseError
+
 __all__ = ["Token", "SqlLexError", "tokenize", "KEYWORDS"]
 
 KEYWORDS = {
@@ -26,7 +28,7 @@ _TWO_CHAR_OPS = ("<=", ">=", "<>", "!=")
 _ONE_CHAR_OPS = "+-*/(),=<>.;"
 
 
-class SqlLexError(ValueError):
+class SqlLexError(ParseError):
     """Lexical error with position information."""
 
 

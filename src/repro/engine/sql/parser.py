@@ -34,13 +34,14 @@ be a full SQL front end.
 
 from __future__ import annotations
 
+from ...errors import ParseError
 from . import ast
 from .lexer import Token, tokenize
 
 __all__ = ["SqlParseError", "parse", "parse_expression"]
 
 
-class SqlParseError(ValueError):
+class SqlParseError(ParseError):
     """Syntax error with token context."""
 
 

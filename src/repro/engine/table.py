@@ -14,15 +14,81 @@ in the two queries".  :class:`Table` reproduces exactly that:
 That makes the engine a faithful testbed for the paper's claim: a
 query result over conventional floats may change after an UPDATE that
 did not touch the aggregated column, while the reproducible SUM cannot.
+
+MVCC snapshot reads
+-------------------
+
+Row versions are drawn from a :class:`VersionClock` — private to the
+table when it stands alone, shared across the whole catalog once the
+table is registered (:mod:`repro.engine.catalog`).  A mutating
+statement *begins* a version, applies its changes under the table
+lock, and *commits*; :attr:`VersionClock.stable` is the highest
+version with no uncommitted predecessor.  A reader that pins
+``stable`` at admission and scans with ``snapshot=pin`` sees exactly
+the rows visible at that instant — writers that begin later (or were
+still in flight at admission) are invisible, bit for bit, no matter
+how long the scan takes.  Writers serialize per table through
+:attr:`Table.lock`; readers only take it briefly to materialize column
+arrays, never for the duration of a query.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
 from .types import SqlType
 
-__all__ = ["Column", "Table", "Schema"]
+__all__ = ["Column", "Table", "Schema", "VersionClock"]
+
+
+class VersionClock:
+    """Monotone DML clock with a committed-prefix watermark.
+
+    ``begin()`` hands out the next version and marks it in flight;
+    ``commit()`` retires it.  :attr:`stable` is the largest version
+    ``v`` such that every version ``<= v`` has committed — the value
+    snapshot readers pin.  A reader admitted while a write is still in
+    flight therefore pins *before* that write and can never observe
+    its effects, without ever blocking on the writer.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._next = 0
+        self._inflight: set[int] = set()
+
+    def begin(self) -> int:
+        with self._lock:
+            self._next += 1
+            version = self._next
+            self._inflight.add(version)
+            return version
+
+    def commit(self, version: int) -> None:
+        with self._lock:
+            self._inflight.discard(version)
+
+    def advance_to(self, version: int) -> None:
+        """Ensure future versions exceed ``version`` (used when a
+        standalone table joins a catalog's shared clock)."""
+        with self._lock:
+            self._next = max(self._next, int(version))
+
+    @property
+    def value(self) -> int:
+        """The most recently issued version (committed or not)."""
+        with self._lock:
+            return self._next
+
+    @property
+    def stable(self) -> int:
+        """The committed-prefix watermark: the snapshot readers pin."""
+        with self._lock:
+            if self._inflight:
+                return min(self._inflight) - 1
+            return self._next
 
 
 class Column:
@@ -58,6 +124,9 @@ class Column:
         of O(table).  Handed-out views stay valid: appends only write
         buffer slots beyond every previously returned view's length,
         and a capacity growth allocates a fresh buffer.
+
+        Callers materializing concurrently must hold the owning
+        table's lock (every :class:`Table` accessor does).
         """
         n = len(self._data)
         if self._converted < n or self._buffer is None:
@@ -136,10 +205,19 @@ class Table:
     the watermark at time ``W`` can later ask :meth:`delta_masks` for
     exactly the rows inserted or deleted since ``W`` — the delta feed
     behind incrementally-maintained materialized views
-    (:mod:`repro.engine.matview`).
+    (:mod:`repro.engine.matview`) — or scan with ``snapshot=W`` to see
+    the table exactly as it stood at ``W`` (the MVCC read path behind
+    the serving layer, :mod:`repro.server`).
+
+    Concurrency: :attr:`lock` (re-entrant) serializes mutating
+    statements and guards lazy cache materialization.  Each mutating
+    method is statement-atomic under it; multi-call statements (UPDATE)
+    use :meth:`replace_rows` so the delete and re-insert share one
+    version.
     """
 
-    def __init__(self, name: str, schema: Schema):
+    def __init__(self, name: str, schema: Schema,
+                 clock: VersionClock | None = None):
         self.name = name.lower()
         self.schema = schema
         self._columns = {
@@ -152,16 +230,31 @@ class Table:
         self._inserted: list[int] = []
         #: monotone DML watermark (bumped once per mutating statement)
         self._version = 0
+        #: version source — private until a catalog attaches its own
+        self._clock = clock if clock is not None else VersionClock()
+        #: statement/materialization lock (see class docstring)
+        self.lock = threading.RLock()
         # Incremental caches: appends extend the cached arrays with
         # just the new tail; deletes (rare) invalidate them outright.
         self._valid_arr: np.ndarray | None = None
         self._ins_arr: np.ndarray | None = None
         self._del_arr: np.ndarray | None = None
 
+    def attach_clock(self, clock: VersionClock) -> None:
+        """Switch to a shared clock (catalog registration), keeping
+        existing row versions valid by advancing the shared clock past
+        them."""
+        if clock is self._clock:
+            return
+        with self.lock:
+            clock.advance_to(self._version)
+            self._clock = clock
+
     # -- size -------------------------------------------------------------
     def __len__(self) -> int:
         """Number of *visible* rows."""
-        return int(np.count_nonzero(self.valid_mask()))
+        with self.lock:
+            return int(np.count_nonzero(self.valid_mask()))
 
     @property
     def physical_rows(self) -> int:
@@ -174,34 +267,45 @@ class Table:
         return self._version
 
     def valid_mask(self) -> np.ndarray:
-        if self._valid_arr is None:
-            self._valid_arr = np.asarray(
-                [d == 0 for d in self._deleted], dtype=bool
-            )
-        elif len(self._valid_arr) != len(self._deleted):
-            # Appended rows are live until a delete invalidates the
-            # cache, so the tail extension is all-True.
-            tail = np.ones(len(self._deleted) - len(self._valid_arr),
-                           dtype=bool)
-            self._valid_arr = np.concatenate([self._valid_arr, tail])
-        return self._valid_arr
+        with self.lock:
+            if self._valid_arr is None:
+                self._valid_arr = np.asarray(
+                    [d == 0 for d in self._deleted], dtype=bool
+                )
+            elif len(self._valid_arr) != len(self._deleted):
+                # Appended rows are live until a delete invalidates the
+                # cache, so the tail extension is all-True.
+                tail = np.ones(len(self._deleted) - len(self._valid_arr),
+                               dtype=bool)
+                self._valid_arr = np.concatenate([self._valid_arr, tail])
+            return self._valid_arr
 
     def _version_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """``(insert_version, delete_version)`` per physical row, with
         the same incremental-tail caching as :meth:`valid_mask`."""
-        n = len(self._inserted)
-        if self._ins_arr is None:
-            self._ins_arr = np.asarray(self._inserted, dtype=np.int64)
-        elif len(self._ins_arr) != n:
-            tail = np.asarray(self._inserted[len(self._ins_arr):],
-                              dtype=np.int64)
-            self._ins_arr = np.concatenate([self._ins_arr, tail])
-        if self._del_arr is None:
-            self._del_arr = np.asarray(self._deleted, dtype=np.int64)
-        elif len(self._del_arr) != n:
-            tail = np.zeros(n - len(self._del_arr), dtype=np.int64)
-            self._del_arr = np.concatenate([self._del_arr, tail])
-        return self._ins_arr, self._del_arr
+        with self.lock:
+            n = len(self._inserted)
+            if self._ins_arr is None:
+                self._ins_arr = np.asarray(self._inserted, dtype=np.int64)
+            elif len(self._ins_arr) != n:
+                tail = np.asarray(self._inserted[len(self._ins_arr):],
+                                  dtype=np.int64)
+                self._ins_arr = np.concatenate([self._ins_arr, tail])
+            if self._del_arr is None:
+                self._del_arr = np.asarray(self._deleted, dtype=np.int64)
+            elif len(self._del_arr) != n:
+                tail = np.zeros(n - len(self._del_arr), dtype=np.int64)
+                self._del_arr = np.concatenate([self._del_arr, tail])
+            return self._ins_arr, self._del_arr
+
+    def snapshot_mask(self, snapshot: int) -> np.ndarray:
+        """Physical-row visibility at version ``snapshot``: inserted at
+        or before it, not deleted at or before it."""
+        with self.lock:
+            n = len(self._inserted)
+            ins, del_ = self._version_arrays()
+            ins, del_ = ins[:n], del_[:n]
+            return (ins <= snapshot) & ((del_ == 0) | (del_ > snapshot))
 
     def delta_masks(self, since: int) -> tuple[np.ndarray, np.ndarray]:
         """Physical-row masks of the delta between watermark ``since``
@@ -212,19 +316,31 @@ class Table:
         have been masked meanwhile.  Rows both appended *and* masked
         since the watermark cancel out and appear in neither mask.
         """
-        if not self._inserted:
-            empty = np.zeros(0, dtype=bool)
-            return empty, empty.copy()
-        ins, del_ = self._version_arrays()
-        inserted = (ins > since) & (del_ == 0)
-        deleted = (ins <= since) & (del_ > since)
-        return inserted, deleted
+        with self.lock:
+            if not self._inserted:
+                empty = np.zeros(0, dtype=bool)
+                return empty, empty.copy()
+            ins, del_ = self._version_arrays()
+            inserted = (ins > since) & (del_ == 0)
+            deleted = (ins <= since) & (del_ > since)
+            return inserted, deleted
+
+    def changed_between(self, a: int, b: int) -> bool:
+        """True when any insert or delete landed in version window
+        ``(min(a,b), max(a,b)]`` — i.e. states ``a`` and ``b`` differ."""
+        lo, hi = (a, b) if a <= b else (b, a)
+        if lo == hi:
+            return False
+        with self.lock:
+            if not self._inserted:
+                return False
+            ins, del_ = self._version_arrays()
+            return bool(
+                np.any((ins > lo) & (ins <= hi))
+                or np.any((del_ > lo) & (del_ <= hi))
+            )
 
     # -- mutation ----------------------------------------------------------
-    def _bump(self) -> int:
-        self._version += 1
-        return self._version
-
     def _append_row(self, values: dict, version: int) -> None:
         lowered = {k.lower(): v for k, v in values.items()}
         missing = [n for n in self.schema.names() if n not in lowered]
@@ -236,7 +352,7 @@ class Table:
         self._inserted.append(version)
 
     def insert_row(self, values: dict) -> None:
-        self._append_row(values, self._bump())
+        self.insert_rows([values])
 
     def insert_rows(self, rows: list[dict]) -> int:
         """Append many rows as one versioned chunk (one watermark bump
@@ -244,9 +360,14 @@ class Table:
         An empty statement leaves the watermark untouched."""
         if not rows:
             return 0
-        version = self._bump()
-        for row in rows:
-            self._append_row(row, version)
+        with self.lock:
+            version = self._clock.begin()
+            try:
+                for row in rows:
+                    self._append_row(row, version)
+                self._version = version
+            finally:
+                self._clock.commit(version)
         return len(rows)
 
     def bulk_load(self, columns: dict) -> None:
@@ -256,15 +377,23 @@ class Table:
         if len(lengths) != 1:
             raise ValueError("all columns must have the same length")
         (nrows,) = lengths
-        for col_name, _ in self.schema.columns:
-            if col_name not in lowered:
-                raise ValueError(f"missing column {col_name!r}")
-            self._columns[col_name].extend_raw(list(lowered[col_name]))
-        if nrows == 0:
-            return
-        version = self._bump()
-        self._deleted.extend([0] * nrows)
-        self._inserted.extend([version] * nrows)
+        with self.lock:
+            for col_name, _ in self.schema.columns:
+                if col_name not in lowered:
+                    raise ValueError(f"missing column {col_name!r}")
+            if nrows == 0:
+                for col_name, _ in self.schema.columns:
+                    self._columns[col_name].extend_raw(list(lowered[col_name]))
+                return
+            version = self._clock.begin()
+            try:
+                for col_name, _ in self.schema.columns:
+                    self._columns[col_name].extend_raw(list(lowered[col_name]))
+                self._deleted.extend([0] * nrows)
+                self._inserted.extend([version] * nrows)
+                self._version = version
+            finally:
+                self._clock.commit(version)
 
     def mask_rows(self, physical_indices: np.ndarray) -> int:
         """Delete row versions in place (the masking half of UPDATE).
@@ -272,20 +401,51 @@ class Table:
         A statement that masks nothing does not advance the watermark,
         so it cannot make a fresh materialized view look stale.
         """
-        hits = [
-            idx for idx in np.asarray(physical_indices).tolist()
-            if self._deleted[idx] == 0
-        ]
-        if not hits:
-            return 0
-        version = self._bump()
-        for idx in hits:
-            self._deleted[idx] = version
-        # Deletes mutate existing entries: drop the caches rather than
-        # mutate arrays callers may still hold.
-        self._valid_arr = None
-        self._del_arr = None
-        return len(hits)
+        with self.lock:
+            hits = [
+                idx for idx in np.asarray(physical_indices).tolist()
+                if self._deleted[idx] == 0
+            ]
+            if not hits:
+                return 0
+            version = self._clock.begin()
+            try:
+                for idx in hits:
+                    self._deleted[idx] = version
+                self._version = version
+            finally:
+                self._clock.commit(version)
+            # Deletes mutate existing entries: drop the caches rather
+            # than mutate arrays callers may still hold.
+            self._valid_arr = None
+            self._del_arr = None
+            return len(hits)
+
+    def replace_rows(self, physical_indices: np.ndarray,
+                     rows: list[dict]) -> int:
+        """One UPDATE statement: mask the old versions and append the
+        new ones under a *single* version, so a snapshot reader sees
+        either the whole statement or none of it — never the masked
+        half without the re-inserted half."""
+        with self.lock:
+            hits = [
+                idx for idx in np.asarray(physical_indices).tolist()
+                if self._deleted[idx] == 0
+            ]
+            if not hits and not rows:
+                return 0
+            version = self._clock.begin()
+            try:
+                for idx in hits:
+                    self._deleted[idx] = version
+                for row in rows:
+                    self._append_row(row, version)
+                self._version = version
+            finally:
+                self._clock.commit(version)
+            self._valid_arr = None
+            self._del_arr = None
+            return len(hits)
 
     def append_versions(self, rows: list[dict]) -> None:
         """Append new row versions (the re-insertion half of UPDATE)."""
@@ -293,18 +453,28 @@ class Table:
 
     # -- access --------------------------------------------------------------
     def column_array(self, name: str, visible_only: bool = True) -> np.ndarray:
-        arr = self._columns[name.lower()].array()
-        if visible_only:
-            return arr[self.valid_mask()]
-        return arr
+        with self.lock:
+            arr = self._columns[name.lower()].array()
+            if visible_only:
+                return arr[self.valid_mask()]
+            return arr
 
-    def scan(self, columns: list[str] | None = None) -> dict:
+    def scan(self, columns: list[str] | None = None,
+             snapshot: int | None = None) -> dict:
         """Visible rows in physical order, as column arrays.
 
         ``columns`` restricts the scan to the named columns (projection
         pushdown for the vectorized pipeline); ``None`` scans all.
+        ``snapshot`` pins visibility at a row-version watermark — rows
+        from later (or still in-flight) statements are excluded; the
+        returned arrays are consistent copies, safe to read lock-free.
         """
-        return self.masked_scan(self.valid_mask(), columns)
+        with self.lock:
+            if snapshot is None:
+                mask = self.valid_mask()
+            else:
+                mask = self.snapshot_mask(snapshot)
+            return self.masked_scan(mask, columns)
 
     def masked_scan(self, mask: np.ndarray, columns: list[str] | None = None) -> dict:
         """Arbitrary physical-row selection as column arrays (physical
@@ -313,9 +483,14 @@ class Table:
         names = self.schema.names() if columns is None else [
             name.lower() for name in columns
         ]
-        return {name: self._columns[name].array()[mask] for name in names}
+        with self.lock:
+            n = len(mask)
+            return {
+                name: self._columns[name].array()[:n][mask] for name in names
+            }
 
-    def morsels(self, morsel_size: int, columns: list[str] | None = None):
+    def morsels(self, morsel_size: int, columns: list[str] | None = None,
+                snapshot: int | None = None):
         """Visible rows as columnar chunks of at most ``morsel_size`` rows.
 
         Chunks are zero-copy views over the scan arrays, yielded in
@@ -324,7 +499,8 @@ class Table:
         scan interface of the morsel-driven pipeline
         (:mod:`repro.engine.pipeline`).  ``columns`` restricts the scan
         (projection pushdown); the chunk row count is preserved even if
-        the restriction is empty.
+        the restriction is empty.  ``snapshot`` pins row visibility as
+        in :meth:`scan`.
         """
         if morsel_size < 1:
             raise ValueError("morsel_size must be >= 1")
@@ -332,7 +508,7 @@ class Table:
             # Keep one column so chunk row counts survive (COUNT(*)-only
             # plans still need to know how many rows each morsel has).
             columns = [self.schema.names()[0]]
-        data = self.scan(columns)
+        data = self.scan(columns, snapshot=snapshot)
         names = list(data.keys())
         nrows = len(data[names[0]]) if names else 0
         if nrows == 0:
@@ -344,36 +520,42 @@ class Table:
                 for name, arr in data.items()
             }
 
-    def key_encodings(self, columns) -> dict:
+    def key_encodings(self, columns, snapshot: int | None = None) -> dict:
         """Dictionary encodings for the named object-dtype columns.
 
         Returns ``{name: (codes, uniques)}`` where ``codes`` covers the
-        *visible* rows in physical (scan) order.  Columns with
+        *visible* rows in physical (scan) order — pinned at
+        ``snapshot`` when given, matching :meth:`scan`.  Columns with
         non-object storage are skipped — their keys already factorize
         cheaply with :func:`numpy.unique`.
         """
         out = {}
-        mask = None
-        for name in columns:
-            low = name.lower()
-            column = self._columns.get(low)
-            if column is None or column.sql_type.numpy_dtype != np.dtype(object):
-                continue
-            if mask is None:
-                mask = self.valid_mask()
-            codes, uniques = column.encoding()
-            out[low] = (codes[mask], uniques)
+        with self.lock:
+            mask = None
+            for name in columns:
+                low = name.lower()
+                column = self._columns.get(low)
+                if column is None or column.sql_type.numpy_dtype != np.dtype(object):
+                    continue
+                if mask is None:
+                    if snapshot is None:
+                        mask = self.valid_mask()
+                    else:
+                        mask = self.snapshot_mask(snapshot)
+                codes, uniques = column.encoding()
+                out[low] = (codes[: len(mask)][mask], uniques)
         return out
 
     def physical_scan(self) -> tuple[dict, np.ndarray]:
         """All row versions plus the validity mask (for UPDATE/DELETE)."""
-        return (
-            {
-                col_name: self._columns[col_name].array()
-                for col_name, _ in self.schema.columns
-            },
-            self.valid_mask(),
-        )
+        with self.lock:
+            return (
+                {
+                    col_name: self._columns[col_name].array()
+                    for col_name, _ in self.schema.columns
+                },
+                self.valid_mask(),
+            )
 
     def rows(self) -> list[tuple]:
         """Visible rows as Python tuples (natural values)."""

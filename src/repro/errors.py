@@ -1,0 +1,150 @@
+"""Typed exception hierarchy shared by the engine and the wire protocol.
+
+Every error the engine raises deliberately derives from
+:class:`ReproError` and carries a stable ``code`` string, so the
+serving layer (:mod:`repro.server`) can serialize a failure faithfully
+and the client (:mod:`repro.client`) can re-raise the *same* exception
+type on the other side of the socket — a ``ParseError`` over the wire
+is still a ``ParseError`` to the caller.
+
+Several classes also inherit from the builtin exception the engine
+historically raised (``ValueError`` for parse/bind/config failures,
+``KeyError`` for catalog lookups), so existing callers that catch the
+builtins keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "BindError",
+    "CatalogError",
+    "ConfigError",
+    "AdmissionError",
+    "QueryTimeout",
+    "ProtocolError",
+    "ConnectionClosed",
+    "error_code",
+    "error_to_wire",
+    "error_from_wire",
+]
+
+
+class ReproError(Exception):
+    """Base of every engine-raised error.
+
+    ``code`` is the stable wire identifier; subclasses override it.
+    """
+
+    code = "error"
+
+
+class ParseError(ReproError, ValueError):
+    """SQL text the lexer or parser rejects."""
+
+    code = "parse_error"
+
+
+class BindError(ReproError, ValueError):
+    """Expression or name-resolution failure (unknown/ambiguous column,
+    bad aggregate usage).  The engine's :class:`~repro.engine.expr.
+    ExprError` family derives from this."""
+
+    code = "bind_error"
+
+
+class CatalogError(ReproError, KeyError, ValueError):
+    """Catalog failure: missing/duplicate table or materialized view,
+    DROP blocked by dependents.
+
+    Inherits both ``KeyError`` (missing objects were a ``KeyError``
+    before the hierarchy existed) and ``ValueError`` (duplicates were
+    a ``ValueError``); ``__str__`` is restored to the plain message —
+    ``KeyError``'s repr-quoting would leak into wire payloads.
+    """
+
+    code = "catalog_error"
+    __str__ = Exception.__str__
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid session knob name or value (the ``SET`` pragma paths)."""
+
+    code = "config_error"
+
+
+class AdmissionError(ReproError):
+    """The server refused to admit a query: the in-flight limit is
+    reached and the backlog is full.  Overload degrades into this
+    typed, immediate rejection instead of unbounded queueing."""
+
+    code = "admission_rejected"
+
+
+class QueryTimeout(ReproError):
+    """A query exceeded the server's per-query deadline (queue wait
+    plus execution)."""
+
+    code = "query_timeout"
+
+
+class ProtocolError(ReproError):
+    """Malformed frame or unknown request on the wire."""
+
+    code = "protocol_error"
+
+
+class ConnectionClosed(ReproError):
+    """The peer closed the connection mid-conversation."""
+
+    code = "connection_closed"
+
+
+#: code -> class, for re-raising a faithful type client-side.
+_WIRE_TYPES = {
+    cls.code: cls
+    for cls in (
+        ReproError,
+        ParseError,
+        BindError,
+        CatalogError,
+        ConfigError,
+        AdmissionError,
+        QueryTimeout,
+        ProtocolError,
+        ConnectionClosed,
+    )
+}
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable wire code of an exception (generic for non-engine
+    errors)."""
+    return getattr(exc, "code", "error")
+
+
+def error_to_wire(exc: BaseException) -> dict:
+    """Serialize an exception for the wire protocol."""
+    return {
+        "code": error_code(exc),
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }
+
+
+def error_from_wire(payload: dict) -> ReproError:
+    """Rehydrate a wire error into the matching typed exception.
+
+    Unknown codes degrade to :class:`ReproError`; the original
+    type name is preserved in the message so nothing is lost.
+    """
+    code = payload.get("code", "error")
+    message = payload.get("message", "")
+    cls = _WIRE_TYPES.get(code)
+    if cls is None:
+        cls = ReproError
+        type_name = payload.get("type")
+        if type_name and type_name not in (cls.__name__,):
+            message = f"{type_name}: {message}"
+    return cls(message)

@@ -1,0 +1,83 @@
+"""``python -m repro.server`` — stand up a reproducible SQL server.
+
+    python -m repro.server --port 7474 --sum-mode repro --workers 4
+    python -m repro.server --unix /tmp/repro.sock --init schema.sql
+
+``--init`` runs a SQL script (one statement per ``;``) against the
+database before accepting connections — the usual way to load a schema
+and seed data for a demo or benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from ..engine import Database
+from . import ReproServer
+
+
+def _parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a repro database over TCP or a unix socket.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7474)
+    parser.add_argument("--unix", default=None, metavar="PATH",
+                        help="serve on a unix socket instead of TCP")
+    parser.add_argument("--sum-mode", default="repro",
+                        choices=("ieee", "repro", "repro_buffered", "sorted"),
+                        help="default SUM semantics for new sessions")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="default intra-query worker count")
+    parser.add_argument("--max-inflight", type=int, default=8,
+                        help="statements executing concurrently")
+    parser.add_argument("--max-backlog", type=int, default=32,
+                        help="statements allowed to wait for a slot")
+    parser.add_argument("--query-timeout", type=float, default=None,
+                        metavar="SECONDS", help="per-statement deadline")
+    parser.add_argument("--init", default=None, metavar="SCRIPT.sql",
+                        help="SQL script to run before serving")
+    return parser.parse_args(argv)
+
+
+def _run_init_script(db: Database, path: str) -> int:
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    ran = 0
+    session = db.session()
+    for statement in text.split(";"):
+        statement = statement.strip()
+        if statement:
+            session.execute(statement)
+            ran += 1
+    return ran
+
+
+async def _amain(args) -> None:
+    db = Database(sum_mode=args.sum_mode, workers=args.workers)
+    if args.init:
+        ran = _run_init_script(db, args.init)
+        print(f"init: ran {ran} statements from {args.init}")
+    server = ReproServer(
+        db, host=args.host, port=args.port, unix_path=args.unix,
+        max_inflight=args.max_inflight, max_backlog=args.max_backlog,
+        query_timeout=args.query_timeout,
+    )
+    await server.start()
+    where = server.address if args.unix else "%s:%d" % server.address
+    print(f"serving on {where} (sum_mode={args.sum_mode}, "
+          f"max_inflight={args.max_inflight})")
+    await server.serve_forever()
+
+
+def main(argv=None) -> None:
+    try:
+        asyncio.run(_amain(_parse_args(argv)))
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

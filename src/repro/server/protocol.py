@@ -1,0 +1,193 @@
+"""Wire protocol shared by :mod:`repro.server` and :mod:`repro.client`.
+
+Framing is length-prefixed JSON: each message is a 4-byte big-endian
+payload length followed by that many bytes of UTF-8 JSON.  JSON keeps
+the protocol inspectable; the one thing JSON must **not** touch is the
+numeric column data — a float that round-trips through decimal text
+can change bits, which would defeat the entire point of a reproducible
+server.  Numeric columns therefore travel as base64 of the raw
+little-endian array bytes plus the dtype string, and are reassembled
+with ``np.frombuffer`` — bit-exact by construction.  Object (string)
+columns travel as plain JSON arrays.
+
+Requests::
+
+    {"id": 1, "op": "hello", "options": {"sum_mode": "repro", ...}}
+    {"id": 2, "op": "execute", "sql": "SELECT ..."}
+    {"id": 3, "op": "explain", "sql": "SELECT ..."}
+    {"id": 4, "op": "close"}
+
+Replies carry the request ``id`` and either ``"ok": true`` with a
+``result`` / ``rowcount`` / ``text`` payload, or ``"ok": false`` with
+the typed-error envelope of :func:`repro.errors.error_to_wire`, which
+the client rehydrates into the same exception class
+(:class:`~repro.errors.QueryTimeout` stays a ``QueryTimeout`` across
+the wire, not a stringly-typed RuntimeError).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import re
+import struct
+
+import numpy as np
+
+from ..errors import ConnectionClosed, ProtocolError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "read_frame",
+    "write_frame",
+    "recv_frame",
+    "send_frame",
+    "encode_result",
+    "decode_result",
+    "type_to_wire",
+    "type_from_wire",
+]
+
+#: Frame size cap — a corrupt or hostile length prefix must not make
+#: either side try to allocate gigabytes.
+MAX_FRAME_BYTES = 512 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def _check_length(length: int) -> int:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return length
+
+
+# -- asyncio side (server) -------------------------------------------------
+
+async def read_frame(reader) -> dict | None:
+    """Read one message from an ``asyncio.StreamReader``; ``None`` at
+    orderly EOF between frames."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ProtocolError("connection closed mid-frame") from None
+        return None
+    length = _check_length(_HEADER.unpack(header)[0])
+    payload = await reader.readexactly(length)
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+
+
+def write_frame(writer, message: dict) -> None:
+    """Queue one message on an ``asyncio.StreamWriter``."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    writer.write(_HEADER.pack(len(payload)) + payload)
+
+
+# -- blocking-socket side (client) -----------------------------------------
+
+def recv_frame(sock) -> dict:
+    """Read one message from a blocking socket."""
+    header = _recv_exactly(sock, _HEADER.size)
+    length = _check_length(_HEADER.unpack(header)[0])
+    payload = _recv_exactly(sock, length)
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+
+
+def send_frame(sock, message: dict) -> None:
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exactly(sock, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionClosed("server closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- result codec ----------------------------------------------------------
+
+def type_to_wire(sql_type) -> str | None:
+    """A :class:`~repro.engine.types.SqlType` as its SQL name (the
+    parenthesized forms carry their arguments: ``DECIMAL(18,2)``)."""
+    return None if sql_type is None else sql_type.name
+
+
+_TYPE_NAME = re.compile(r"([A-Za-z]+)(?:\((\d+)(?:,(\d+))?\))?\Z")
+
+
+def type_from_wire(name: str | None):
+    if name is None:
+        return None
+    from ..engine.types import type_from_name
+
+    match = _TYPE_NAME.match(name)
+    if match is None:
+        raise ProtocolError(f"unparseable wire type {name!r}")
+    args = tuple(int(g) for g in match.groups()[1:] if g is not None)
+    return type_from_name(match.group(1), args)
+
+
+def _encode_column(arr: np.ndarray) -> dict:
+    arr = np.ascontiguousarray(arr)
+    if arr.dtype.kind == "O":
+        values = []
+        for v in arr.tolist():
+            if v is None or isinstance(v, (str, int, float, bool)):
+                values.append(v)
+            else:
+                values.append(str(v))
+        return {"kind": "object", "values": values}
+    # Force little-endian so the dtype string is platform-independent.
+    if arr.dtype.byteorder == ">":
+        arr = arr.astype(arr.dtype.newbyteorder("<"))
+    return {
+        "kind": "numeric",
+        "dtype": arr.dtype.str,
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_column(col: dict) -> np.ndarray:
+    if col["kind"] == "object":
+        out = np.empty(len(col["values"]), dtype=object)
+        out[:] = col["values"]
+        return out
+    raw = base64.b64decode(col["data"])
+    return np.frombuffer(raw, dtype=np.dtype(col["dtype"])).copy()
+
+
+def encode_result(result) -> dict:
+    """An engine ``QueryResult`` as a wire payload (bit-exact for
+    numeric columns)."""
+    return {
+        "names": list(result.names),
+        "types": [type_to_wire(t) for t in result.types],
+        "columns": [_encode_column(arr) for arr in result.arrays],
+    }
+
+
+def decode_result(payload: dict):
+    """Rebuild a ``QueryResult`` from :func:`encode_result` output."""
+    from ..engine.executor import QueryResult
+
+    return QueryResult(
+        list(payload["names"]),
+        [_decode_column(col) for col in payload["columns"]],
+        [type_from_wire(name) for name in payload["types"]],
+    )

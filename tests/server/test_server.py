@@ -1,0 +1,392 @@
+"""Serving layer: wire protocol, admission control, typed errors.
+
+End-to-end tests run a real :class:`ReproServer` on an event loop in a
+background thread and drive it with real blocking-socket clients —
+the exact production path, port 0 so the OS picks a free port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import Database, QueryResult
+from repro.errors import (
+    AdmissionError,
+    BindError,
+    CatalogError,
+    ConfigError,
+    ParseError,
+    ProtocolError,
+    QueryTimeout,
+    ReproError,
+    error_from_wire,
+    error_to_wire,
+)
+from repro.server import AdmissionGate, ReproServer
+from repro.server.protocol import decode_result, encode_result
+
+# ---------------------------------------------------------------------------
+# Harness: a server on a background event-loop thread
+# ---------------------------------------------------------------------------
+
+
+class ServerThread:
+    def __init__(self, db, **kwargs):
+        self.db = db
+        self.kwargs = kwargs
+        self.address = None
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10), "server failed to start"
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        async with ReproServer(self.db, **self.kwargs) as server:
+            self.server = server
+            self.address = server.address
+            self._ready.set()
+            await self._stop.wait()
+
+    def stop(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+
+@pytest.fixture
+def served():
+    db = Database(sum_mode="repro")
+    server = ServerThread(db)
+    yield db, server
+    server.stop()
+
+
+# ---------------------------------------------------------------------------
+# Typed errors: wire codec
+# ---------------------------------------------------------------------------
+
+
+def test_error_wire_roundtrip_preserves_class():
+    for exc in (
+        ParseError("bad token"),
+        CatalogError("no table 'x'"),
+        ConfigError("workers must be >= 1"),
+        AdmissionError("full"),
+        QueryTimeout("too slow"),
+    ):
+        back = error_from_wire(error_to_wire(exc))
+        assert type(back) is type(exc)
+        assert str(exc) in str(back)
+
+
+def test_unknown_wire_code_degrades_to_repro_error():
+    back = error_from_wire(
+        {"code": "from_the_future", "type": "FancyError", "message": "boom"}
+    )
+    assert type(back) is ReproError
+    assert "FancyError" in str(back) and "boom" in str(back)
+
+
+def test_catalog_error_is_keyerror_with_clean_message():
+    exc = CatalogError("no table 'x'")
+    assert isinstance(exc, KeyError) and isinstance(exc, ValueError)
+    assert str(exc) == "no table 'x'"  # no KeyError repr-quoting
+
+
+# ---------------------------------------------------------------------------
+# Result codec: bit-exact columns
+# ---------------------------------------------------------------------------
+
+
+def test_result_codec_is_bit_exact_for_floats():
+    tricky = np.array(
+        [0.1 + 0.2, 1e308, 5e-324, -0.0, float("inf"), float("nan")]
+    )
+    result = QueryResult(["f"], [tricky], [None])
+    back = decode_result(encode_result(result))
+    assert back.arrays[0].tobytes() == tricky.tobytes()  # NaN payload too
+
+
+def test_result_codec_roundtrips_types_and_objects():
+    db = Database()
+    db.execute(
+        "CREATE TABLE t (k INT, f DOUBLE, s VARCHAR(5), d DATE, "
+        "m DECIMAL(12,3))"
+    )
+    db.execute("INSERT INTO t VALUES (7, 2.5, 'hi', '2024-06-01', 1.125)")
+    result = db.execute("SELECT k, f, s, d, m FROM t")
+    back = decode_result(encode_result(result))
+    assert back.names == result.names
+    assert [repr(t) for t in back.types] == [repr(t) for t in result.types]
+    assert back.rows() == result.rows()
+    for mine, theirs in zip(result.arrays, back.arrays):
+        if mine.dtype.kind != "O":
+            assert mine.tobytes() == theirs.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# AdmissionGate semantics (pure asyncio, no sockets)
+# ---------------------------------------------------------------------------
+
+
+def test_admission_gate_bounds_inflight_and_backlog():
+    async def scenario():
+        gate = AdmissionGate(max_inflight=2, max_backlog=1)
+        await gate.acquire()
+        await gate.acquire()
+        assert gate.inflight == 2
+        queued = asyncio.ensure_future(gate.acquire())
+        await asyncio.sleep(0)
+        assert gate.queued == 1
+        with pytest.raises(AdmissionError):
+            await gate.acquire()  # backlog full -> immediate rejection
+        gate.release()  # slot hands over FIFO
+        await queued
+        assert gate.inflight == 2 and gate.queued == 0
+        gate.release()
+        gate.release()
+        assert gate.inflight == 0
+        assert gate.rejected == 1 and gate.admitted == 3
+
+    asyncio.run(scenario())
+
+
+def test_admission_gate_cancelled_waiter_frees_backlog():
+    async def scenario():
+        gate = AdmissionGate(max_inflight=1, max_backlog=2)
+        await gate.acquire()
+        waiter = asyncio.ensure_future(gate.acquire())
+        await asyncio.sleep(0)
+        waiter.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await waiter
+        assert gate.queued == 0
+        gate.release()
+        assert gate.inflight == 0
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# End to end
+# ---------------------------------------------------------------------------
+
+
+def test_execute_matches_local_bits(served):
+    db, server = served
+    local = db.session()
+    local.execute("CREATE TABLE t (k INT, f DOUBLE)")
+    for i in range(100):
+        local.execute(f"INSERT INTO t VALUES ({i % 7}, {(0.1 * i) ** 3!r})")
+    query = "SELECT k, SUM(f), COUNT(*) FROM t GROUP BY k ORDER BY k"
+    expected = local.execute(query)
+    with repro.connect(server.address, sum_mode="repro", workers=2) as s:
+        got = s.execute(query)
+    assert got.names == expected.names
+    for mine, theirs in zip(expected.arrays, got.arrays):
+        assert mine.tobytes() == theirs.tobytes()
+
+
+def test_remote_session_full_surface(served):
+    db, server = served
+    with repro.connect(server.address) as s:
+        assert s.server_info["max_inflight"] == 8
+        assert s.execute("CREATE TABLE t (f DOUBLE)") == 0
+        assert s.execute("INSERT INTO t VALUES (0.5), (0.25)") == 2
+        assert s.execute("SELECT SUM(f) FROM t").scalar() == 0.75
+        assert s.execute("SET workers = 2") == 0
+        assert "physical plan" in s.explain("SELECT SUM(f) FROM t")
+        assert s.execute("DELETE FROM t WHERE f > 0.3") == 1
+
+
+def test_typed_errors_cross_the_wire(served):
+    db, server = served
+    with repro.connect(server.address) as s:
+        with pytest.raises(ParseError):
+            s.execute("SELEC 1")
+        with pytest.raises(CatalogError):
+            s.execute("SELECT * FROM missing")
+        with pytest.raises(ConfigError):
+            s.execute("SET workers = 0")
+        s.execute("CREATE TABLE t (f DOUBLE)")
+        with pytest.raises(BindError):
+            s.execute("SELECT nope FROM t")
+        # The connection survives errors.
+        assert s.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+
+def test_invalid_session_options_rejected_at_hello(served):
+    db, server = served
+    with pytest.raises(ReproError):
+        repro.connect(server.address, bogus_knob=1)
+
+
+def test_unix_socket_serving(tmp_path):
+    db = Database(sum_mode="repro")
+    path = str(tmp_path / "repro.sock")
+    server = ServerThread(db, unix_path=path)
+    try:
+        with repro.connect(path) as s:
+            s.execute("CREATE TABLE t (f DOUBLE)")
+            s.execute("INSERT INTO t VALUES (1.5)")
+            assert s.execute("SELECT SUM(f) FROM t").scalar() == 1.5
+    finally:
+        server.stop()
+
+
+# -- admission control e2e -------------------------------------------------
+
+
+class _SlowSession:
+    """Session whose SELECTs stall — injected via ``session_factory``
+    to make admission states reproducible in tests."""
+
+    def __init__(self, inner, delay):
+        self._inner = inner
+        self._delay = delay
+
+    def execute(self, sql):
+        if sql.lstrip().upper().startswith("SELECT SLOW"):
+            time.sleep(self._delay)
+            sql = sql.replace("SLOW", "", 1)
+        return self._inner.execute(sql)
+
+    def explain(self, sql):
+        return self._inner.explain(sql)
+
+    def close(self):
+        self._inner.close()
+
+
+def _slow_server(db, delay, **kwargs):
+    return ServerThread(
+        db, session_factory=lambda **opts: _SlowSession(
+            db.session(**opts), delay
+        ),
+        **kwargs,
+    )
+
+
+def test_backlog_overflow_is_typed_rejection():
+    db = Database(sum_mode="repro")
+    db.execute("CREATE TABLE t (f DOUBLE)")
+    db.execute("INSERT INTO t VALUES (1.0)")
+    server = _slow_server(db, delay=1.5, max_inflight=1, max_backlog=1)
+    try:
+        sessions = [repro.connect(server.address) for _ in range(3)]
+        outcomes = {}
+
+        def fire(i):
+            try:
+                outcomes[i] = sessions[i].execute("SELECT SLOW SUM(f) FROM t")
+            except Exception as exc:
+                outcomes[i] = exc
+
+        threads = []
+        for i in range(3):  # 1 runs, 1 queues, 1 must bounce
+            thread = threading.Thread(target=fire, args=(i,))
+            thread.start()
+            threads.append(thread)
+            time.sleep(0.3)
+        for thread in threads:
+            thread.join(timeout=15)
+        rejected = [v for v in outcomes.values() if isinstance(v, AdmissionError)]
+        served_fine = [v for v in outcomes.values() if isinstance(v, QueryResult)]
+        assert len(rejected) == 1, outcomes
+        assert len(served_fine) == 2, outcomes
+        for s in sessions:
+            s.close()
+    finally:
+        server.stop()
+
+
+def test_query_timeout_fires_and_connection_survives():
+    db = Database(sum_mode="repro")
+    db.execute("CREATE TABLE t (f DOUBLE)")
+    db.execute("INSERT INTO t VALUES (1.0)")
+    server = _slow_server(db, delay=1.0, query_timeout=0.2)
+    try:
+        with repro.connect(server.address) as s:
+            started = time.monotonic()
+            with pytest.raises(QueryTimeout):
+                s.execute("SELECT SLOW SUM(f) FROM t")
+            assert time.monotonic() - started < 0.9  # deadline, not delay
+            # Same connection keeps working after the timeout.
+            assert s.execute("SELECT SUM(f) FROM t").scalar() == 1.0
+    finally:
+        server.stop()
+
+
+# -- concurrent served digest ----------------------------------------------
+
+
+def test_eight_served_sessions_match_serial_replay_bits(served):
+    db, server = served
+    n_clients, steps = 8, 15
+    setup = db.session()
+    setup.execute("CREATE TABLE cs (k INT, f DOUBLE)")
+
+    def script(client_id):
+        rng = np.random.default_rng(77 + client_id)
+        ops = []
+        for step in range(steps):
+            key = client_id * 100 + int(rng.integers(0, 4))
+            if rng.random() < 0.75:
+                ops.append(
+                    f"INSERT INTO cs VALUES ({key}, "
+                    f"{float(rng.standard_normal())!r})"
+                )
+            else:
+                ops.append(f"DELETE FROM cs WHERE k = {key}")
+        return ops
+
+    scripts = [script(i) for i in range(n_clients)]
+
+    # Serial reference in a separate database with the same config.
+    ref_db = Database(sum_mode="repro")
+    ref = ref_db.session()
+    ref.execute("CREATE TABLE cs (k INT, f DOUBLE)")
+    for step in range(steps):
+        for ops in scripts:
+            ref.execute(ops[step])
+    query = "SELECT k, SUM(f), COUNT(*) FROM cs GROUP BY k ORDER BY k"
+    expected = ref.execute(query)
+
+    barrier = threading.Barrier(n_clients)
+    failures = []
+
+    def client(ops):
+        try:
+            with repro.connect(server.address, sum_mode="repro") as s:
+                barrier.wait()
+                for sql in ops:
+                    s.execute(sql)
+        except Exception as exc:  # pragma: no cover - diagnostic
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(ops,)) for ops in scripts
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not failures, failures
+
+    with repro.connect(server.address, sum_mode="repro") as s:
+        got = s.execute(query)
+    assert got.names == expected.names
+    for mine, theirs in zip(expected.arrays, got.arrays):
+        assert mine.tobytes() == theirs.tobytes()

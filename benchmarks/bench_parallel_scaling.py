@@ -21,6 +21,7 @@ The headline assertion: at 4 workers the critical-path speedup over
 workers=1 exceeds 1.5x for at least one sum mode.
 """
 
+import os
 import time
 
 from _common import emit, record_kernel, table
@@ -29,7 +30,15 @@ from repro.tpch import load_lineitem, run_q1
 
 SCALE = 0.01        # ~60k lineitem rows
 MORSEL_SIZE = 4096  # ~15 morsels: enough to balance 8 workers
-WORKER_COUNTS = (1, 2, 4, 8)
+#: Sweepable so the nightly deep matrix can extend the fused sweep to
+#: the paper's 16-worker point without slowing every PR run.
+WORKER_COUNTS = tuple(
+    int(part)
+    for part in os.environ.get(
+        "REPRO_BENCH_WORKER_COUNTS", "1,2,4,8"
+    ).split(",")
+    if part.strip()
+)
 MODES = ("ieee", "repro")
 ROWS = int(SCALE * 6_000_000)
 
@@ -57,6 +66,8 @@ def test_parallel_scaling_report():
 
     for mode in MODES:
         for workers in (1, 4):
+            if workers not in results[mode]:
+                continue
             record_kernel(
                 f"q1_{mode}_workers{workers}",
                 results[mode][workers]["critical"] / ROWS * 1e9,
@@ -93,8 +104,9 @@ def test_parallel_scaling_report():
 
     # Headline: >1.5x critical-path speedup at 4 workers for at least
     # one sum mode.
-    speedups = {
-        mode: results[mode][1]["critical"] / results[mode][4]["critical"]
-        for mode in MODES
-    }
-    assert max(speedups.values()) > 1.5, speedups
+    if all(w in results[MODES[0]] for w in (1, 4)):
+        speedups = {
+            mode: results[mode][1]["critical"] / results[mode][4]["critical"]
+            for mode in MODES
+        }
+        assert max(speedups.values()) > 1.5, speedups

@@ -1,0 +1,114 @@
+"""Sharded multi-process Q1 vs. the single-process thread pipeline.
+
+The PR-8 acceptance gate: **reproducible Q1 at 8 shard processes must
+beat the best single-process thread configuration** on wall-clock.
+Python threads only overlap where numpy drops the GIL; shard executor
+processes escape it entirely, and the paper's exact-merge property is
+what makes that migration free — the partial group tables exchanged
+over the spill wire format merge to byte-identical results.
+
+The floor is enforced as a machine-relative ratio
+(``q1_sharded8_over_threads``: best-threads wall / sharded-8 wall,
+floor 1.5 on the multi-core CI runners) so it gates reliably across
+machines.  Result bits are asserted identical between both paths in
+the same run — the speedup is only admissible because the answer is
+the same answer.
+
+Warm-up runs pay kernel compilation *and* shard replica shipping; the
+measured runs exercise the steady state the replica cache is for:
+local compute + partial-state exchange only.
+"""
+
+import gc
+import os
+import time
+
+import numpy as np
+
+from _common import emit, ns_per_element, record_kernel, record_speedup, table
+from repro.engine import Database
+from repro.tpch import load_lineitem, run_q1
+
+SCALE = float(os.environ.get("REPRO_BENCH_SHARDED_SCALE", "0.1"))
+MORSEL_SIZE = 8192
+ROWS = int(SCALE * 6_000_000)
+ROUNDS = 3
+SHARDS = 8
+THREAD_WORKERS = (1, 4, 8)
+
+#: The acceptance floor lives in ``baseline.json``
+#: (``q1_sharded8_over_threads``); CI fails below it.
+
+
+def _result_bits(result):
+    return tuple(np.asarray(arr).tobytes() for arr in result.arrays)
+
+
+def _prepare(**knobs):
+    db = Database(sum_mode="repro", morsel_size=MORSEL_SIZE, **knobs)
+    load_lineitem(db, scale_factor=SCALE)
+    result = run_q1(db)  # warm-up: kernels compile, shard replicas ship
+    run_q1(db)
+    return db, _result_bits(result)
+
+
+def _best_wall(db) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        gc.collect()
+        started = time.perf_counter()
+        run_q1(db)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_sharded_vs_threads_report():
+    thread_dbs = {}
+    bits = None
+    for workers in THREAD_WORKERS:
+        db, db_bits = _prepare(workers=workers)
+        thread_dbs[workers] = db
+        assert bits is None or db_bits == bits
+        bits = db_bits
+    sharded_db, sharded_bits = _prepare(shards=SHARDS, shard_workers=SHARDS)
+    assert sharded_bits == bits, (
+        "sharded Q1 bits differ from the thread pipeline"
+    )
+    stats = sharded_db.last_pipeline_stats
+    assert stats.sharded and stats.shards == SHARDS
+
+    thread_walls = {w: _best_wall(db) for w, db in thread_dbs.items()}
+    sharded_wall = _best_wall(sharded_db)
+    exchange_bytes = sharded_db.last_pipeline_stats.exchange_bytes
+
+    best_workers, best_threads = min(
+        thread_walls.items(), key=lambda item: item[1]
+    )
+    speedup = best_threads / sharded_wall
+    record_kernel("q1_repro_sharded8", ns_per_element(sharded_wall, ROWS))
+    record_speedup("q1_sharded8_over_threads", speedup)
+
+    body = [
+        [f"threads workers={w}", round(wall * 1e3, 2),
+         round(ns_per_element(wall, ROWS), 1), ""]
+        for w, wall in sorted(thread_walls.items())
+    ]
+    body.append([
+        f"sharded shards={SHARDS}", round(sharded_wall * 1e3, 2),
+        round(ns_per_element(sharded_wall, ROWS), 1),
+        f"{speedup:.2f}x vs best threads (workers={best_workers})",
+    ])
+    emit(
+        "sharded_q1",
+        table(
+            ["config", "wall ms", "ns/row", "headline"],
+            body,
+            f"TPC-H Q1 (SF={SCALE}, morsel={MORSEL_SIZE}, repro): "
+            f"thread pipeline vs {SHARDS} shard processes "
+            f"(steady-state exchange {exchange_bytes >> 10} KiB/query)",
+        ),
+    )
+
+    for db in thread_dbs.values():
+        db.close()
+    sharded_db.close()

@@ -34,8 +34,16 @@ Env overrides (so matrix legs vary without changing the command line):
   ``unbounded`` (or ``0``) disables spilling for that run;
 * ``REPRO_DIGEST_FUSED`` — comma-separated ``on`` / ``off`` flags for
   the fused-kernel sweep (default ``on,off``);
+* ``REPRO_DIGEST_SHARDS`` — comma-separated shard counts (``0`` = the
+  in-process pipeline, ``N`` = hash-sharded multi-process execution
+  with partial-state exchange; default ``0,2``);
 * ``REPRO_DIGEST_TPCH_SCALE`` — TPC-H scale factor (the nightly deep
   matrix runs x10 the PR default).
+
+The shards axis extends the gate across *process* boundaries: a leg
+that hash-shards every eligible aggregate over executor processes and
+exchanges partial group tables over the spill wire format must digest
+byte-identically to the single-process legs.
 """
 
 import argparse
@@ -350,6 +358,16 @@ def parse_fused(text: str) -> tuple[bool, ...]:
     return tuple(flags)
 
 
+def parse_shards(text: str) -> tuple[int, ...]:
+    try:
+        shards = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"bad shard counts {text!r}") from None
+    if not shards or any(s < 0 for s in shards):
+        raise SystemExit(f"bad shard counts {text!r}")
+    return shards
+
+
 def parse_budgets(text: str) -> tuple:
     """Parse the memory-budget sweep: ``unbounded`` / ``none`` / ``0``
     mean no budget; anything else is a byte count."""
@@ -388,57 +406,70 @@ def canonical_bytes(result):
     return b"\x1e".join(pieces)
 
 
+def _sweep_configs(workers, build_sides, budgets, fused_flags, shards_counts,
+                   sweeps_builds):
+    sides = build_sides if sweeps_builds else ("auto",)
+    for worker_count in workers:
+        for morsel_size in MORSEL_SIZES:
+            for vectorized in (True, False):
+                # Fusion only engages on the vectorized path, so
+                # sweeping it there covers kernel-vs-interpreter; the
+                # vectorized=False legs keep the scalar fallback in
+                # the same gate.
+                flags = fused_flags if vectorized else (False,)
+                for fused in flags:
+                    for build_side in sides:
+                        for budget in budgets:
+                            for shard_count in shards_counts:
+                                yield (
+                                    worker_count, morsel_size, vectorized,
+                                    fused, build_side, budget, shard_count,
+                                )
+
+
 def digest_lines(workers, build_sides, budgets=(None,), queries=QUERIES,
-                 fused_flags=(True, False)):
+                 fused_flags=(True, False), shards_counts=(0,)):
     lines = []
     for query_id, source, sql, sweeps_builds in queries:
-        sides = build_sides if sweeps_builds else ("auto",)
         for mode in MODES:
             reference = None
             reference_config = None
-            for worker_count in workers:
-                for morsel_size in MORSEL_SIZES:
-                    for vectorized in (True, False):
-                        # Fusion only engages on the vectorized path,
-                        # so sweeping it there covers kernel-vs-
-                        # interpreter; the vectorized=False legs keep
-                        # the scalar fallback in the same gate.
-                        flags = fused_flags if vectorized else (False,)
-                        for fused in flags:
-                            for build_side in sides:
-                                for budget in budgets:
-                                    db = Database(
-                                        sum_mode=mode,
-                                        workers=worker_count,
-                                        morsel_size=morsel_size,
-                                        vectorized=vectorized,
-                                        fused=fused,
-                                        join_build=build_side,
-                                        memory_budget=budget,
-                                    )
-                                    _load(db, source)
-                                    if callable(sql):
-                                        result = sql(db)
-                                    else:
-                                        result = db.execute(sql)
-                                    payload = canonical_bytes(result)
-                                    config = (
-                                        worker_count,
-                                        morsel_size,
-                                        vectorized,
-                                        fused,
-                                        build_side,
-                                        budget,
-                                    )
-                                    if reference is None:
-                                        reference = payload
-                                        reference_config = config
-                                    elif payload != reference:
-                                        raise SystemExit(
-                                            f"NON-REPRODUCIBLE: {query_id} "
-                                            f"[{mode}] at {config} differs "
-                                            f"from {reference_config}"
-                                        )
+            for config in _sweep_configs(
+                workers, build_sides, budgets, fused_flags, shards_counts,
+                sweeps_builds,
+            ):
+                (worker_count, morsel_size, vectorized, fused,
+                 build_side, budget, shard_count) = config
+                db = Database(
+                    sum_mode=mode,
+                    workers=worker_count,
+                    morsel_size=morsel_size,
+                    vectorized=vectorized,
+                    fused=fused,
+                    join_build=build_side,
+                    memory_budget=budget,
+                    shards=shard_count,
+                )
+                try:
+                    _load(db, source)
+                    if callable(sql):
+                        result = sql(db)
+                    else:
+                        result = db.execute(sql)
+                    payload = canonical_bytes(result)
+                finally:
+                    # Tear down shard executor processes and worker
+                    # pools before the next config spins its own.
+                    db.close()
+                if reference is None:
+                    reference = payload
+                    reference_config = config
+                elif payload != reference:
+                    raise SystemExit(
+                        f"NON-REPRODUCIBLE: {query_id} "
+                        f"[{mode}] at {config} differs "
+                        f"from {reference_config}"
+                    )
             digest = hashlib.sha256(reference).hexdigest()
             lines.append(f"{query_id} {mode} {digest}")
     return lines
@@ -473,14 +504,26 @@ def main(argv=None):
             "on the vectorized legs (default on,off)"
         ),
     )
+    parser.add_argument(
+        "--shards",
+        default=os.environ.get("REPRO_DIGEST_SHARDS", "0,2"),
+        help=(
+            "comma-separated shard counts to sweep (0 = in-process "
+            "pipeline, N = multi-process shard exchange; default 0,2)"
+        ),
+    )
     parser.add_argument("--out", default="repro_digest.txt")
     args = parser.parse_args(argv)
     workers = parse_workers(args.workers)
     build_sides = parse_build_sides(args.build_sides)
     budgets = parse_budgets(args.memory_budgets)
     fused_flags = parse_fused(args.fused)
+    shards_counts = parse_shards(args.shards)
 
-    lines = digest_lines(workers, build_sides, budgets, QUERIES, fused_flags)
+    lines = digest_lines(
+        workers, build_sides, budgets, QUERIES, fused_flags,
+        shards_counts=shards_counts,
+    )
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write("\n".join(lines) + "\n")
     for line in lines:
@@ -490,6 +533,7 @@ def main(argv=None):
         f"build sides swept: {list(build_sides)}, "
         f"memory budgets swept: {list(budgets)}, "
         f"fused swept: {list(fused_flags)}, "
+        f"shards swept: {list(shards_counts)}, "
         f"tpch scale: {tpch_scale()})"
     )
     return 0

@@ -1,0 +1,208 @@
+"""Sharded aggregation coordinator: ship shards, collect partials,
+merge exactly, finalize once.
+
+The coordinator side of the ``ShardedAggregate`` physical node.  For
+one aggregate query it:
+
+1. resolves the table's shard layout at the query snapshot (cached per
+   table version — INSERTs re-shard by versioning, not by mutation);
+2. ships any shard replicas the executor processes do not already hold,
+   as framed spill payloads over the worker pipes;
+3. sends each shard's task (a picklable plan fragment: group
+   expressions, aggregate calls, filter predicates, types) to its
+   worker — placement is ``shard % nworkers``, overridable in tests;
+4. collects the framed partial group tables **in arrival order** —
+   whichever executor answers first is served first;
+5. merges the partials **in shard-id order** and finalizes once.
+
+Step 5 makes arrival order structurally invisible, and the paper's
+exact-merge property makes even the merge *order* irrelevant for the
+repro modes — the belt under the suspenders.  The seeded-permutation
+tests force adversarial arrival schedules through a service-order hook
+(:data:`_service_order`) and assert byte-identical finalizes.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing.connection import wait as _connection_wait
+
+from ..engine.operators import PartialGroupTable
+from ..engine.pipeline import PipelineStats
+from ..engine.vectorized import VectorizedGroupTable
+from ..errors import ReproError
+from ..storage.spill import (
+    encode_payload,
+    frame_payload,
+    load_table_into,
+    unframe_payload,
+)
+
+__all__ = ["ShardExchangeError", "run_sharded_grouped_pipeline"]
+
+
+class ShardExchangeError(ReproError):
+    """A shard executor failed or the exchange wire was damaged."""
+
+
+#: Test hook: reorder the list of ready worker connections before
+#: replies are drained (seeded arrival-permutation tests).  ``None``
+#: serves natural arrival order.
+_service_order = None
+
+
+def _placement(shard: int, nworkers: int) -> int:
+    """shard -> worker process (overridable in tests: placement must be
+    invisible in result bits)."""
+    return shard % nworkers
+
+
+def _build_task(aggregate, scan, predicates, context):
+    sum_config = aggregate.specs[0].sum_config
+    return {
+        "group_exprs": tuple(aggregate.group_exprs),
+        "agg_calls": tuple(spec.call for spec in aggregate.specs),
+        "sum_mode": sum_config.mode,
+        "sum_levels": sum_config.levels,
+        "sum_buffer": sum_config.buffer_size,
+        "types": dict(scan.types),
+        "column_map": dict(scan.column_map),
+        "encode_keys": tuple(scan.encode_keys),
+        "predicates": tuple(predicates),
+        "vectorized": bool(aggregate.vectorized),
+        "fused": bool(aggregate.fused),
+        "morsel_size": int(context.morsel_size),
+    }
+
+
+def run_sharded_grouped_pipeline(query, context, timings=None,
+                                 snapshot=None):
+    """Drive one sharded aggregate to ``(key_arrays, results,
+    ngroups)`` — the same contract as the thread pipeline drivers."""
+    wall_started = time.perf_counter()
+    aggregate = query.aggregate
+    scan = query.pipeline.source
+    table = scan.table
+    nshards = aggregate.shards
+    nworkers = max(1, min(aggregate.shard_workers or nshards, nshards))
+    predicates = [op.predicate for op in query.pipeline.ops]
+    task = _build_task(aggregate, scan, predicates, context)
+
+    source_columns = list(scan.column_map.values())
+    if not source_columns and table.schema.names():
+        # COUNT(*)-only plans still need row counts per shard.
+        source_columns = [table.schema.names()[0]]
+    cols_sig = tuple(sorted(source_columns))
+
+    pool = context.shard_pool(nworkers)
+    stats = PipelineStats(nworkers)
+    stats.vectorized = bool(aggregate.vectorized) or bool(aggregate.fused)
+    stats.fused = bool(aggregate.fused)
+    stats.sharded = True
+    stats.shards = nshards
+
+    try:
+        with pool.lock:
+            ship_started = time.perf_counter()
+            version_key, _, _ = table.shard_layout(nshards, snapshot)
+            assignment: dict[int, list[int]] = {}
+            for shard in range(nshards):
+                assignment.setdefault(
+                    _placement(shard, nworkers) % nworkers, []
+                ).append(shard)
+            expected = 0
+            for worker_id, shards_for in sorted(assignment.items()):
+                conn = pool.conn(worker_id)
+                for shard in shards_for:
+                    token = (
+                        table.name, nshards, version_key, cols_sig, shard,
+                    )
+                    slot = (worker_id, (token[0], token[1], token[3], shard))
+                    if pool.shipped.get(slot) != token:
+                        columns = table.shard_scan(
+                            nshards, shard, source_columns, snapshot
+                        )
+                        frame = frame_payload(
+                            encode_payload(
+                                {"version": 1, "columns": columns}
+                            )
+                        )
+                        conn.send(("load", token, frame))
+                        pool.shipped[slot] = token
+                        stats.exchange_bytes += len(frame)
+                    conn.send(("run", shard, token, task))
+                    expected += 1
+            ship_seconds = time.perf_counter() - ship_started
+
+            # Collect replies in arrival order (permutable in tests).
+            frames: dict[int, bytes] = {}
+            conn_to_worker = {
+                pool.conn(worker_id): worker_id for worker_id in assignment
+            }
+            remaining = {
+                worker_id: len(shards_for)
+                for worker_id, shards_for in assignment.items()
+            }
+            while expected:
+                pending = [
+                    conn for conn, worker_id in conn_to_worker.items()
+                    if remaining[worker_id] > 0
+                ]
+                ready = _connection_wait(pending)
+                if _service_order is not None:
+                    ready = _service_order(list(ready))
+                for conn in ready:
+                    worker_id = conn_to_worker[conn]
+                    message = conn.recv()
+                    if message[0] == "error":
+                        raise ShardExchangeError(
+                            f"shard executor {worker_id} failed:\n"
+                            f"{message[1]}"
+                        )
+                    _, shard_id, _ngroups, nmorsels, busy, frame = message
+                    frames[shard_id] = frame
+                    stats.worker_busy[worker_id] += busy
+                    stats.worker_morsels[worker_id] += nmorsels
+                    stats.morsel_count += nmorsels
+                    stats.exchange_bytes += len(frame)
+                    remaining[worker_id] -= 1
+                    expected -= 1
+    except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+        # A dead executor poisons the pool: discard it so the next
+        # query starts a fresh fleet instead of hanging on a dead pipe.
+        context.discard_shard_pool()
+        raise ShardExchangeError(
+            f"shard executor pipe failed: {exc!r}"
+        ) from exc
+    except ShardExchangeError:
+        context.discard_shard_pool()
+        raise
+
+    # Merge in shard-id order — arrival order cannot matter, by
+    # construction; exact state merge makes even this order choice
+    # invisible in the repro modes.
+    merge_started = time.thread_time()
+    make_table = (
+        VectorizedGroupTable if aggregate.vectorized else PartialGroupTable
+    )
+    root = make_table(aggregate.group_exprs, aggregate.specs)
+    for shard in sorted(frames):
+        fresh = make_table(aggregate.group_exprs, aggregate.specs)
+        load_table_into(
+            unframe_payload(frames[shard], context=f"shard {shard} partial"),
+            fresh,
+        )
+        root.merge(fresh)
+    stats.merge_seconds = time.thread_time() - merge_started
+
+    finalize_started = time.thread_time()
+    key_arrays, results, ngroups = root.finalize()
+    stats.finalize_seconds = time.thread_time() - finalize_started
+
+    stats.wall_seconds = time.perf_counter() - wall_started
+    context.last_stats = stats
+    if timings is not None:
+        timings.add("shard_exchange", ship_seconds)
+        timings.add("aggregation", sum(stats.worker_busy)
+                    + stats.merge_seconds + stats.finalize_seconds)
+    return key_arrays, results, ngroups

@@ -316,6 +316,21 @@ def _run_physical(query: PhysicalQuery, context: ExecutionContext,
         names, arrays = _finish_grouped(
             query, key_arrays, dict(agg_results), ngroups
         )
+    elif query.aggregate is not None and query.aggregate.sharded:
+        # Sharded multi-process execution: no local scan at all — the
+        # executor processes hold the shard replicas and return framed
+        # partial group tables that merge exactly
+        # (:mod:`repro.distributed.coordinator`).
+        from ..distributed.coordinator import run_sharded_grouped_pipeline
+
+        key_arrays, results, ngroups = run_sharded_grouped_pipeline(
+            query, context, timings, snapshot
+        )
+        agg_env = {
+            spec.sql: arr
+            for spec, arr in zip(query.aggregate.specs, results)
+        }
+        names, arrays = _finish_grouped(query, key_arrays, agg_env, ngroups)
     else:
         morsels, transform = _instantiate(
             query.pipeline, context, timings, snapshot

@@ -148,6 +148,14 @@ class PhysAggregate:
     #: into one generated morsel kernel (:mod:`repro.engine.fused`).
     fused: bool = False
     kernel: object = None
+    #: True when the plan runs as a ShardedAggregate: the table is
+    #: hash-sharded across executor processes and partial group tables
+    #: are exchanged back over the spill wire format
+    #: (:mod:`repro.distributed`).  Bits are identical either way in
+    #: the repro modes — the reproducibility CI sweeps the shard count.
+    sharded: bool = False
+    shards: int = 0
+    shard_workers: int = 0
 
     def describe(self, workers: int, morsel_size: int) -> str:
         engine = "vectorized" if self.vectorized else "scalar"
@@ -160,6 +168,13 @@ class PhysAggregate:
                 f", external(partitions={self.spill_partitions}, "
                 f"budget={self.memory_budget_bytes}B, "
                 f"~{self.est_state_bytes}B state)"
+            )
+        if self.sharded:
+            return (
+                f"ShardedAggregate(shards={self.shards}, "
+                f"shard_workers={self.shard_workers})"
+                f"[{engine}, morsel_size={morsel_size}{extra}]"
+                f"(group=[{group}], aggs=[{aggs}])"
             )
         return (
             f"Aggregate[{engine}, {mode}, workers={workers}, "
@@ -359,6 +374,24 @@ def plan_physical(root: LogicalNode, context,
         if kernel is not None:
             aggregate.fused = True
             aggregate.kernel = kernel
+
+    # Sharded multi-process execution: chosen when the session sets
+    # shards > 0 and the plan is a single-table scan -> filters ->
+    # aggregate (joins and the external spill path stay on the thread
+    # pipeline; sharding them is future work).  Result bits in the
+    # repro modes are invariant under this choice — executors run the
+    # same kernels over a disjoint row partition and the partial states
+    # merge exactly.
+    shards = getattr(context, "shards", 0)
+    if (aggregate is not None and shards > 0 and not aggregate.external
+            and chain.source.table is not None
+            and all(isinstance(op, PhysFilter) for op in chain.ops)):
+        aggregate.sharded = True
+        aggregate.shards = shards
+        shard_workers = getattr(context, "shard_workers", None)
+        aggregate.shard_workers = max(
+            1, min(shard_workers or shards, shards)
+        )
 
     from .plan import plan_column_types
 

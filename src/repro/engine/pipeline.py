@@ -74,7 +74,8 @@ class ExecutionContext:
                  vectorized: bool = True, join_build: str = "auto",
                  memory_budget_bytes: int | None = None,
                  spill_partitions: int | None = None,
-                 spill_merge_fanin: int = 0, fused: bool = True):
+                 spill_merge_fanin: int = 0, fused: bool = True,
+                 shards: int = 0, shard_workers: int | None = None):
         workers = int(workers)
         morsel_size = int(morsel_size)
         if workers < 1:
@@ -119,10 +120,22 @@ class ExecutionContext:
         #: pass; >= 2 merges runs in groups of this size, re-spilling
         #: intermediates — more passes, same bits).
         self.spill_merge_fanin = self._check_fanin(spill_merge_fanin)
+        #: Shard count for multi-process execution (0 = off).  When
+        #: > 0, qualifying aggregate plans run as a ShardedAggregate:
+        #: the table is hash-sharded across executor *processes* and
+        #: partial group tables are exchanged back over the spill wire
+        #: format (:mod:`repro.distributed`).  Repro-mode bits are
+        #: invariant under this knob — the reproducibility CI sweeps
+        #: it.
+        self.shards = self._check_shards(shards)
+        #: Executor process count (``None`` = one per shard).
+        self.shard_workers = self._check_shard_workers(shard_workers)
         #: Stats of the most recent pipeline run (set by the drivers).
         self.last_stats: PipelineStats | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._finalizer = None
+        self._shard_pool = None
+        self._shard_finalizer = None
         #: Plan-signature -> compiled kernel (or None for plans that
         #: failed codegen); maintained by :func:`repro.engine.fused.
         #: compile_fused`, cleared when execution-shaping knobs change.
@@ -135,7 +148,7 @@ class ExecutionContext:
     PARAM_NAMES = (
         "memory_budget_bytes", "memory_budget", "spill_partitions",
         "spill_merge_fanin", "workers", "morsel_size", "vectorized",
-        "join_build", "fused",
+        "join_build", "fused", "shards", "shard_workers",
     )
 
     def _invalidate_kernels(self) -> None:
@@ -209,6 +222,26 @@ class ExecutionContext:
             )
         return value
 
+    @classmethod
+    def _check_shards(cls, value) -> int:
+        value = cls._as_int(value, "shards")
+        if value < 0:
+            raise ConfigError("shards must be >= 0 (0 = off)")
+        return value
+
+    @classmethod
+    def _check_shard_workers(cls, value) -> int | None:
+        if value is None:
+            return None
+        if isinstance(value, str) and value.lower() in ("none", "auto"):
+            return None
+        value = cls._as_int(value, "shard_workers")
+        if value < 1:
+            raise ConfigError(
+                "shard_workers must be >= 1 (or NULL for one per shard)"
+            )
+        return value
+
     def set_param(self, name: str, value) -> None:
         """Session ``SET`` surface: validate and apply one knob.
 
@@ -265,6 +298,18 @@ class ExecutionContext:
                     f"join_build must be one of {self.JOIN_BUILD_SIDES}"
                 )
             self.join_build = side
+        elif key == "shards":
+            shards = self._check_shards(value)
+            if shards != self.shards:
+                # The pool is sized for the old shard fan-out; a fresh
+                # one is spawned lazily on the next sharded query.
+                self._close_shard_pool()
+            self.shards = shards
+        elif key == "shard_workers":
+            shard_workers = self._check_shard_workers(value)
+            if shard_workers != self.shard_workers:
+                self._close_shard_pool()
+            self.shard_workers = shard_workers
         else:
             raise ConfigError(
                 f"unknown session parameter {name!r}; valid parameters: "
@@ -282,15 +327,50 @@ class ExecutionContext:
             )
         return self._pool
 
+    def shard_pool(self, nworkers: int):
+        """The context's shard executor fleet, created lazily and
+        reused across queries (the replica cache only pays off if the
+        processes survive between queries).  Re-created when the
+        requested worker count changes; shut down by :meth:`close` or,
+        failing that, a GC finalizer."""
+        if self._shard_pool is not None and (
+            self._shard_pool.nworkers != nworkers
+            or not self._shard_pool.alive()
+        ):
+            self._close_shard_pool()
+        if self._shard_pool is None:
+            from ..distributed.pool import ShardWorkerPool
+
+            self._shard_pool = ShardWorkerPool(nworkers)
+            self._shard_finalizer = weakref.finalize(
+                self, self._shard_pool.close
+            )
+        return self._shard_pool
+
+    def discard_shard_pool(self) -> None:
+        """Tear down a poisoned shard pool (a dead executor, a broken
+        pipe): the next sharded query spawns a fresh fleet."""
+        self._close_shard_pool()
+
+    def _close_shard_pool(self) -> None:
+        if self._shard_pool is not None:
+            if self._shard_finalizer is not None:
+                self._shard_finalizer.detach()
+                self._shard_finalizer = None
+            self._shard_pool.close()
+            self._shard_pool = None
+
     def close(self) -> None:
-        """Shut down the worker pool now (sessions call this on
-        close; GC would get there eventually via the finalizer)."""
+        """Shut down the worker pool and any shard executor processes
+        now (sessions call this on close; GC would get there
+        eventually via the finalizers)."""
         if self._pool is not None:
             if self._finalizer is not None:
                 self._finalizer.detach()
                 self._finalizer = None
             self._pool.shutdown(wait=False)
             self._pool = None
+        self._close_shard_pool()
 
 
 class PipelineStats:
@@ -329,6 +409,14 @@ class PipelineStats:
         self.spilled_bytes = 0
         self.merge_passes = 0
         self.peak_resident_bytes = 0
+        #: True when the plan ran as a ShardedAggregate across executor
+        #: processes (:mod:`repro.distributed`); ``worker_busy`` then
+        #: holds per-*process* CPU time reported by the executors, and
+        #: ``exchange_bytes`` counts framed bytes over the wire (shard
+        #: replicas shipped + partial tables returned).
+        self.sharded = False
+        self.shards = 0
+        self.exchange_bytes = 0
 
     def kernel_time(self) -> float:
         """Total CPU seconds spent in fused kernels across workers."""

@@ -32,6 +32,7 @@ Algorithm 1 verbatim.
 from __future__ import annotations
 
 import contextlib
+import weakref
 
 import numpy as np
 
@@ -78,7 +79,8 @@ class Session:
                  vectorized: bool = True, join_build: str = "auto",
                  memory_budget: int | None = None,
                  spill_partitions: int | None = None,
-                 spill_merge_fanin: int = 0, fused: bool = True):
+                 spill_merge_fanin: int = 0, fused: bool = True,
+                 shards: int = 0, shard_workers: int | None = None):
         self.database = database
         self.catalog = database.catalog
         self.sum_config = SumConfig(sum_mode, levels, buffer_size)
@@ -87,7 +89,7 @@ class Session:
             memory_budget_bytes=memory_budget,
             spill_partitions=spill_partitions,
             spill_merge_fanin=spill_merge_fanin,
-            fused=fused,
+            fused=fused, shards=shards, shard_workers=shard_workers,
         )
         self.last_timings: OperatorTimings | None = None
         #: explicit pin from :meth:`snapshot` (``None`` = pin per query)
@@ -230,9 +232,16 @@ class Session:
         return self._explain(stmt)
 
     def close(self) -> None:
-        """Release session resources (the worker pool).  The catalog
-        belongs to the database and is untouched."""
+        """Release session resources — the thread worker pool and any
+        shard worker processes.  The catalog belongs to the database
+        and is untouched.  Idempotent."""
         self.execution_context.close()
+
+    def __enter__(self) -> Session:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _explain(self, stmt: ast.Select) -> str:
         return explain_select(
@@ -364,7 +373,8 @@ class Database:
                  vectorized: bool = True, join_build: str = "auto",
                  memory_budget: int | None = None,
                  spill_partitions: int | None = None,
-                 spill_merge_fanin: int = 0, fused: bool = True):
+                 spill_merge_fanin: int = 0, fused: bool = True,
+                 shards: int = 0, shard_workers: int | None = None):
         self.catalog = Catalog()
         #: session-construction defaults (:meth:`session` overrides)
         self.session_defaults = {
@@ -379,7 +389,12 @@ class Database:
             "spill_partitions": spill_partitions,
             "spill_merge_fanin": spill_merge_fanin,
             "fused": fused,
+            "shards": shards,
+            "shard_workers": shard_workers,
         }
+        #: every session ever created over this database (weakly held)
+        #: so :meth:`close` can tear all of them down
+        self._sessions = weakref.WeakSet()
         # Created eagerly: constructing it validates every default
         # knob at Database() time, exactly as the monolithic class did
         # (the worker pool inside is still lazy).
@@ -400,7 +415,23 @@ class Database:
             )
         options = dict(self.session_defaults)
         options.update(overrides)
-        return Session(self, **options)
+        session = Session(self, **options)
+        self._sessions.add(session)
+        return session
+
+    def close(self) -> None:
+        """Tear down every session created over this database —
+        thread pools and shard worker processes included.  The catalog
+        stays readable (a later ``session()`` works), but nothing
+        lingers after exit.  Idempotent."""
+        for session in list(self._sessions):
+            session.close()
+
+    def __enter__(self) -> Database:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     @property
     def default_session(self) -> Session:

@@ -14,30 +14,38 @@ checksummed run files that the external GROUP BY operator
 
 from .spill import (
     SPILL_MAGIC,
+    FrameDecoder,
     SpillFormatError,
     dump_buffered_repro,
     dump_grouped_summation,
     dump_summation_state,
     dump_table,
+    frame_payload,
+    iter_frames,
     load_buffered_repro,
     load_grouped_summation,
     load_summation_state,
     load_table_into,
     read_run_file,
+    unframe_payload,
     write_run_file,
 )
 
 __all__ = [
     "SPILL_MAGIC",
+    "FrameDecoder",
     "SpillFormatError",
     "dump_buffered_repro",
     "dump_grouped_summation",
     "dump_summation_state",
     "dump_table",
+    "frame_payload",
+    "iter_frames",
     "load_buffered_repro",
     "load_grouped_summation",
     "load_summation_state",
     "load_table_into",
     "read_run_file",
+    "unframe_payload",
     "write_run_file",
 ]

@@ -43,16 +43,22 @@ from ..fp.formats import format_by_name
 
 __all__ = [
     "SPILL_MAGIC",
+    "FrameDecoder",
     "SpillFormatError",
     "dump_buffered_repro",
     "dump_grouped_summation",
     "dump_summation_state",
+    "decode_payload",
     "dump_table",
+    "encode_payload",
+    "frame_payload",
+    "iter_frames",
     "load_buffered_repro",
     "load_grouped_summation",
     "load_summation_state",
     "load_table_into",
     "read_run_file",
+    "unframe_payload",
     "write_run_file",
 ]
 
@@ -230,43 +236,139 @@ def _decode_payload(raw: bytes):
     return value
 
 
+def encode_payload(value) -> bytes:
+    """Serialize one payload tree with the tagged spill codec.
+
+    The distributed exchange ships shard replicas and control payloads
+    as codec trees inside :func:`frame_payload` frames — the same bytes
+    a run file holds, minus the filesystem."""
+    return _encode_payload(value)
+
+
+def decode_payload(raw: bytes):
+    """Inverse of :func:`encode_payload` (raises on damage)."""
+    return _decode_payload(raw)
+
+
 # ---------------------------------------------------------------------------
-# Run-file framing
+# Framing: one layout for run files AND the shard-exchange wire
+#
+# The frame is self-delimiting (magic | u64 payload length | payload |
+# crc32 | end marker), so the same bytes work as an on-disk run file,
+# an in-memory buffer, or a stream of back-to-back frames on a pipe —
+# the spill format *is* the wire protocol.  Every reader validates
+# magic, length, end marker, and CRC; damage raises, never mis-reads.
 # ---------------------------------------------------------------------------
+
+_HEAD_LEN = len(SPILL_MAGIC) + 8
+_FOOT_LEN = 4 + len(_END_MARK)
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """One framed, checksummed blob (the run-file layout, in memory)."""
+    return b"".join(
+        (
+            SPILL_MAGIC,
+            struct.pack("<Q", len(payload)),
+            payload,
+            struct.pack("<I", zlib.crc32(payload)),
+            _END_MARK,
+        )
+    )
+
+
+def unframe_payload(blob: bytes, context: str = "frame") -> bytes:
+    """Verify and strip exactly one frame (raises on any damage)."""
+    blob = bytes(blob)
+    if len(blob) < _HEAD_LEN or blob[: len(SPILL_MAGIC)] != SPILL_MAGIC:
+        raise SpillFormatError(f"{context}: not a spill frame")
+    (length,) = struct.unpack("<Q", blob[len(SPILL_MAGIC) : _HEAD_LEN])
+    expected = _HEAD_LEN + length + _FOOT_LEN
+    if len(blob) != expected:
+        raise SpillFormatError(
+            f"{context}: truncated frame "
+            f"({len(blob)} bytes, expected {expected})"
+        )
+    payload = blob[_HEAD_LEN : _HEAD_LEN + length]
+    (crc,) = struct.unpack("<I", blob[_HEAD_LEN + length : _HEAD_LEN + length + 4])
+    if blob[-len(_END_MARK) :] != _END_MARK:
+        raise SpillFormatError(f"{context}: missing end marker")
+    if zlib.crc32(payload) != crc:
+        raise SpillFormatError(f"{context}: payload checksum mismatch")
+    return payload
+
+
+class FrameDecoder:
+    """Incremental reader for a stream of back-to-back frames.
+
+    Feed arbitrary byte chunks (socket reads, pipe messages, file
+    slices); complete payloads come back verified, in order.  Chunk
+    boundaries carry no meaning — any split of the same byte stream
+    decodes to the same payload sequence.  A stream that ends mid-frame
+    is truncation: :meth:`finish` raises rather than letting a partial
+    partial-aggregate state pass as complete.
+    """
+
+    def __init__(self, context: str = "frame stream"):
+        self._context = context
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+
+    def feed(self, chunk: bytes) -> list[bytes]:
+        """Absorb ``chunk``; return every newly completed payload."""
+        self._buffer += chunk
+        payloads = []
+        while True:
+            if len(self._buffer) < _HEAD_LEN:
+                break
+            if self._buffer[: len(SPILL_MAGIC)] != SPILL_MAGIC:
+                raise SpillFormatError(f"{self._context}: not a spill frame")
+            (length,) = struct.unpack(
+                "<Q", self._buffer[len(SPILL_MAGIC) : _HEAD_LEN]
+            )
+            total = _HEAD_LEN + length + _FOOT_LEN
+            if len(self._buffer) < total:
+                break
+            frame = bytes(self._buffer[:total])
+            del self._buffer[:total]
+            payloads.append(
+                unframe_payload(
+                    frame, f"{self._context}[{self.frames_decoded}]"
+                )
+            )
+            self.frames_decoded += 1
+        return payloads
+
+    def finish(self) -> None:
+        """Assert the stream ended on a frame boundary."""
+        if self._buffer:
+            raise SpillFormatError(
+                f"{self._context}: stream truncated mid-frame "
+                f"({len(self._buffer)} dangling bytes after "
+                f"{self.frames_decoded} complete frames)"
+            )
+
+
+def iter_frames(blob: bytes, context: str = "frame stream"):
+    """Yield each verified payload of a concatenated-frame blob."""
+    decoder = FrameDecoder(context)
+    yield from decoder.feed(blob)
+    decoder.finish()
 
 
 def write_run_file(path: str, payload: bytes) -> int:
     """Write one framed, checksummed run file; returns bytes written."""
-    header = SPILL_MAGIC + struct.pack("<Q", len(payload))
-    footer = struct.pack("<I", zlib.crc32(payload)) + _END_MARK
+    frame = frame_payload(payload)
     with open(path, "wb") as handle:
-        handle.write(header)
-        handle.write(payload)
-        handle.write(footer)
-    return len(header) + len(payload) + len(footer)
+        handle.write(frame)
+    return len(frame)
 
 
 def read_run_file(path: str) -> bytes:
     """Read and verify one run file's payload (raises on any damage)."""
     with open(path, "rb") as handle:
         blob = handle.read()
-    head = len(SPILL_MAGIC) + 8
-    if len(blob) < head or blob[: len(SPILL_MAGIC)] != SPILL_MAGIC:
-        raise SpillFormatError(f"{path}: not a spill run file")
-    (length,) = struct.unpack("<Q", blob[len(SPILL_MAGIC) : head])
-    expected = head + length + 4 + len(_END_MARK)
-    if len(blob) != expected:
-        raise SpillFormatError(
-            f"{path}: truncated run file "
-            f"({len(blob)} bytes, expected {expected})"
-        )
-    payload = blob[head : head + length]
-    (crc,) = struct.unpack("<I", blob[head + length : head + length + 4])
-    if blob[-len(_END_MARK) :] != _END_MARK:
-        raise SpillFormatError(f"{path}: missing end marker")
-    if zlib.crc32(payload) != crc:
-        raise SpillFormatError(f"{path}: payload checksum mismatch")
-    return payload
+    return unframe_payload(blob, context=path)
 
 
 # ---------------------------------------------------------------------------

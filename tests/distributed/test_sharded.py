@@ -1,0 +1,268 @@
+"""Sharded multi-process execution: distribution must be invisible.
+
+The tentpole claim of PR 8: hash-sharding a table across worker
+*processes* and exchanging partial group tables over the spill wire
+format changes wall-clock, never bits.  These tests pin result bits
+across shard counts x placement x exchange-arrival order x worker
+counts x morsel sizes x engines, in every repro sum mode — and the
+lifecycle contract: no executor process or pool thread survives
+``Database.close()``.
+"""
+
+import multiprocessing
+import threading
+
+import numpy as np
+import pytest
+
+from repro.distributed import coordinator
+from repro.engine.session import Database
+from repro.errors import ReproError
+
+QUERIES = [
+    "SELECT g, SUM(f), AVG(f), COUNT(*) FROM t GROUP BY g ORDER BY g",
+    "SELECT g, SUM(f), COUNT(DISTINCT d), STDDEV(f) FROM t "
+    "WHERE f > -1000000.0 GROUP BY g ORDER BY g",
+    "SELECT s, SUM(f), SUM(d) FROM t WHERE d < 30 GROUP BY s ORDER BY s",
+    "SELECT SUM(f), COUNT(*) FROM t",
+    "SELECT COUNT(*) FROM t WHERE g = 3",
+]
+
+
+def _rows(seed=29, n=3000):
+    rng = np.random.default_rng(seed)
+    g = rng.integers(0, 13, n)
+    f = rng.normal(scale=1e7, size=n)
+    f[::97] = np.nan
+    d = rng.integers(0, 40, n)
+    s = np.array(["ant", "bee", "cow", None], dtype=object)[
+        rng.integers(0, 4, n)
+    ]
+    return [
+        {"g": int(g[i]), "f": float(f[i]), "d": int(d[i]), "s": s[i]}
+        for i in range(n)
+    ]
+
+
+def _populate(db, rows):
+    db.execute("CREATE TABLE t (g INT, f DOUBLE, d INT, s VARCHAR)")
+    db.table("t").insert_rows(rows)
+
+
+def _result_bits(result):
+    """Byte-exact encoding of a QueryResult (NaN bits included)."""
+    pieces = []
+    for arr in result.arrays:
+        arr = np.asarray(arr)
+        if arr.dtype == object:
+            pieces.append("|".join(map(repr, arr.tolist())).encode())
+        else:
+            pieces.append(arr.dtype.str.encode() + arr.tobytes())
+    return tuple(pieces)
+
+
+def _run_all(rows, **kw):
+    with Database(**kw) as db:
+        _populate(db, rows)
+        return [_result_bits(db.execute(q)) for q in QUERIES]
+
+
+# -- bit identity across the distribution matrix ---------------------------
+
+
+@pytest.mark.parametrize("mode", ["repro", "repro_buffered", "sorted"])
+def test_bits_invariant_under_sharding(mode):
+    rows = _rows()
+    base = _run_all(rows, sum_mode=mode)
+    for config in (
+        dict(shards=2),
+        dict(shards=3, shard_workers=2),
+        dict(shards=8, shard_workers=4),
+        dict(shards=8, shard_workers=1),
+        dict(shards=2, fused=False),
+        dict(shards=2, vectorized=False, fused=False),
+        dict(shards=2, morsel_size=257),
+        dict(shards=2, workers=4),
+    ):
+        assert _run_all(rows, sum_mode=mode, **config) == base, config
+
+
+def test_explain_renders_sharded_aggregate():
+    with Database(sum_mode="repro", shards=8) as db:
+        _populate(db, _rows(n=50))
+        plan = db.explain(QUERIES[0])
+        assert "ShardedAggregate(shards=8, shard_workers=8)" in plan
+        # Joins fall back to the thread pipeline: no process exchange.
+        db.execute("CREATE TABLE names (g INT, label VARCHAR)")
+        db.execute("INSERT INTO names VALUES (1, 'one'), (2, 'two')")
+        join_plan = db.explain(
+            "SELECT names.label, SUM(t.f) FROM t "
+            "JOIN names ON t.g = names.g GROUP BY names.label"
+        )
+        assert "ShardedAggregate" not in join_plan
+
+
+def test_set_shards_takes_effect_and_validates():
+    with Database(sum_mode="repro") as db:
+        _populate(db, _rows(n=400))
+        base = _result_bits(db.execute(QUERIES[0]))
+        db.execute("SET shards = 4")
+        db.execute("SET shard_workers = 2")
+        assert "ShardedAggregate(shards=4" in db.explain(QUERIES[0])
+        assert _result_bits(db.execute(QUERIES[0])) == base
+        stats = db.last_pipeline_stats
+        assert stats.sharded and stats.shards == 4
+        assert stats.exchange_bytes > 0
+        db.execute("SET shards = 0")
+        assert "ShardedAggregate" not in db.explain(QUERIES[0])
+        with pytest.raises(ReproError):
+            db.execute("SET shards = -1")
+        with pytest.raises(ReproError):
+            db.execute("SET shard_workers = 0")
+
+
+def test_insert_reshards_by_versioning():
+    rows = _rows(n=600)
+    extra = [{"g": 3, "f": 1.5, "d": 99, "s": "new"},
+             {"g": 99, "f": -2.25, "d": 1, "s": None}]
+    with Database(sum_mode="repro", shards=4, shard_workers=2) as db:
+        _populate(db, rows)
+        before = _result_bits(db.execute(QUERIES[0]))
+        db.table("t").insert_rows(extra)
+        after = _result_bits(db.execute(QUERIES[0]))
+        db.execute("DELETE FROM t WHERE g = 99")
+        reverted = _result_bits(db.execute(QUERIES[0]))
+    with Database(sum_mode="repro") as db:
+        _populate(db, rows)
+        assert _result_bits(db.execute(QUERIES[0])) == before
+        db.table("t").insert_rows(extra)
+        assert _result_bits(db.execute(QUERIES[0])) == after
+        db.execute("DELETE FROM t WHERE g = 99")
+        assert _result_bits(db.execute(QUERIES[0])) == reverted
+
+
+def test_snapshot_pinned_reads_are_stable_under_sharding():
+    with Database(sum_mode="repro", shards=2) as db:
+        _populate(db, _rows(n=500))
+        session = db.default_session
+        with session.snapshot():
+            before = _result_bits(session.execute(QUERIES[0]))
+            db.table("t").insert_rows([{"g": 1, "f": 9.0, "d": 1, "s": "x"}])
+            assert _result_bits(session.execute(QUERIES[0])) == before
+        assert _result_bits(session.execute(QUERIES[0])) != before
+
+
+# -- exchange-arrival order and placement invariance -----------------------
+
+
+@pytest.mark.parametrize("mode", ["repro", "repro_buffered", "sorted"])
+def test_exchange_arrival_order_invariance(mode, monkeypatch):
+    """Permute which ready executor is served first; bits must hold.
+
+    Covers every sum mode plus COUNT DISTINCT — the states whose merge
+    the paper proves exact.
+    """
+    rows = _rows(n=800)
+    base = _run_all(rows, sum_mode=mode)
+    for seed in range(5):
+        shuffle_rng = np.random.default_rng(seed)
+
+        def permute(ready, _rng=shuffle_rng):
+            _rng.shuffle(ready)
+            return ready
+
+        monkeypatch.setattr(coordinator, "_service_order", permute)
+        got = _run_all(rows, sum_mode=mode, shards=8, shard_workers=4)
+        assert got == base, f"arrival permutation seed={seed}"
+    monkeypatch.setattr(coordinator, "_service_order", None)
+
+
+def test_placement_invariance(monkeypatch):
+    rows = _rows(n=600)
+    base = _run_all(rows, sum_mode="repro")
+    assert _run_all(rows, sum_mode="repro", shards=6, shard_workers=3) == base
+    monkeypatch.setattr(
+        coordinator, "_placement", lambda shard, nworkers: nworkers - 1 - (
+            shard % nworkers)
+    )
+    assert _run_all(rows, sum_mode="repro", shards=6, shard_workers=3) == base
+
+
+# -- lifecycle: nothing survives close() -----------------------------------
+
+
+def test_no_stray_processes_or_threads_after_close():
+    before_threads = set(threading.enumerate())
+    with Database(sum_mode="repro", shards=4, shard_workers=2,
+                  workers=2) as db:
+        _populate(db, _rows(n=300))
+        db.execute(QUERIES[0])
+        assert len(multiprocessing.active_children()) == 2
+    assert multiprocessing.active_children() == []
+    stray = {
+        t for t in set(threading.enumerate()) - before_threads if t.is_alive()
+    }
+    assert not stray, [t.name for t in stray]
+
+
+def test_session_close_is_idempotent_and_db_closes_all_sessions():
+    db = Database(sum_mode="repro", shards=2)
+    _populate(db, _rows(n=200))
+    s1 = db.session(shard_workers=1)
+    s2 = db.session(shards=3)
+    s1.execute(QUERIES[3])
+    s2.execute(QUERIES[3])
+    assert multiprocessing.active_children() != []
+    db.close()
+    assert multiprocessing.active_children() == []
+    s1.close()  # idempotent
+    db.close()
+    # The database stays usable: a fresh session spins a fresh pool.
+    s3 = db.session()
+    s3.execute(QUERIES[3])
+    db.close()
+    assert multiprocessing.active_children() == []
+
+
+def test_changing_shard_workers_recycles_pool():
+    with Database(sum_mode="repro", shards=4, shard_workers=4) as db:
+        _populate(db, _rows(n=200))
+        base = _result_bits(db.execute(QUERIES[0]))
+        first = set(db.execution_context._shard_pool.pids)
+        assert len(first) == 4
+        db.execute("SET shard_workers = 2")
+        assert _result_bits(db.execute(QUERIES[0])) == base
+        second = set(db.execution_context._shard_pool.pids)
+        assert len(second) == 2 and not (first & second)
+    assert multiprocessing.active_children() == []
+
+
+def test_executor_crash_heals_between_queries():
+    with Database(sum_mode="repro", shards=2, shard_workers=2) as db:
+        _populate(db, _rows(n=200))
+        base = _result_bits(db.execute(QUERIES[0]))
+        pool = db.execution_context._shard_pool
+        for proc in pool._procs:
+            proc.terminate()
+            proc.join()
+        # A dead fleet is detected at admission and replaced.
+        assert _result_bits(db.execute(QUERIES[0])) == base
+        assert db.execution_context._shard_pool is not pool
+
+
+def test_executor_death_mid_exchange_raises_and_recovers(monkeypatch):
+    with Database(sum_mode="repro", shards=2, shard_workers=2) as db:
+        _populate(db, _rows(n=200))
+        base = _result_bits(db.execute(QUERIES[0]))
+        pool = db.execution_context._shard_pool
+        for proc in pool._procs:
+            proc.terminate()
+            proc.join()
+        # Pin the dead pool past the liveness check: the coordinator
+        # must surface a ShardExchangeError, never wrong bits.
+        monkeypatch.setattr(type(pool), "alive", lambda self: True)
+        with pytest.raises(ReproError):
+            db.execute(QUERIES[0])
+        monkeypatch.undo()
+        # The poisoned pool was discarded; the next query heals.
+        assert _result_bits(db.execute(QUERIES[0])) == base

@@ -178,6 +178,31 @@ def test_parse_workers_and_sides(digest):
         digest.parse_build_sides("sideways")
 
 
+def test_parse_shards(digest):
+    assert digest.parse_shards("0,2") == (0, 2)
+    assert digest.parse_shards("8") == (8,)
+    with pytest.raises(SystemExit):
+        digest.parse_shards("")
+    with pytest.raises(SystemExit):
+        digest.parse_shards("-2")
+    with pytest.raises(SystemExit):
+        digest.parse_shards("two")
+
+
+def test_digest_shards_invisible(digest):
+    """A leg exchanging partial states across executor processes must
+    digest byte-identically to the in-process legs."""
+    queries = _edge_queries(digest)
+    in_process = digest.digest_lines([1], ("auto",), (None,), queries)
+    sharded = digest.digest_lines(
+        [1], ("auto",), (None,), queries, shards_counts=(2,)
+    )
+    mixed = digest.digest_lines(
+        [1], ("auto",), (None,), queries, shards_counts=(0, 3)
+    )
+    assert in_process == sharded == mixed
+
+
 def test_tpch_scale_env_override(digest, monkeypatch):
     monkeypatch.delenv("REPRO_DIGEST_TPCH_SCALE", raising=False)
     assert digest.tpch_scale() == digest.DEFAULT_TPCH_SCALE

@@ -241,6 +241,93 @@ def _concurrent_serving(db):
     return concurrent_result
 
 
+DURABILITY_QUERY = (
+    "SELECT k, SUM(v) AS sv, COUNT(*) AS c, RSUM(v, 3) AS rv "
+    "FROM du GROUP BY k ORDER BY k"
+)
+
+
+def _durability_script():
+    """A deterministic DML/REFRESH workload touching every WAL record
+    type, with ladder-straddling doubles so physical row order shows
+    in the bits if recovery ever reorders it."""
+    rng = np.random.default_rng(20180911)
+    statements = [
+        "CREATE TABLE du (k INT, v DOUBLE)",
+        "CREATE MATERIALIZED VIEW du_agg AS "
+        "SELECT k, SUM(v) AS sv FROM du GROUP BY k",
+    ]
+    for step in range(10):
+        roll = rng.random()
+        if roll < 0.6 or step < 2:
+            count = int(rng.integers(4, 24))
+            keys = rng.integers(0, 7, size=count)
+            values = rng.choice([-1.0, 1.0], size=count) * np.exp2(
+                rng.uniform(-40, 40, size=count)
+            )
+            values[rng.random(count) < 0.05] = -0.0
+            rows = ", ".join(
+                f"({int(k)}, {float(v)!r})" for k, v in zip(keys, values)
+            )
+            statements.append(f"INSERT INTO du VALUES {rows}")
+        elif roll < 0.75:
+            key = int(rng.integers(0, 7))
+            statements.append(f"DELETE FROM du WHERE k = {key}")
+        elif roll < 0.9:
+            key = int(rng.integers(0, 7))
+            statements.append(
+                f"UPDATE du SET v = v * 2.0 WHERE k = {key}"
+            )
+        else:
+            statements.append("REFRESH MATERIALIZED VIEW du_agg")
+    statements.append("REFRESH MATERIALIZED VIEW du_agg")
+    return statements
+
+
+def _durability(db):
+    """The durability leg: replay a seeded DML/REFRESH workload twice —
+    once against the in-memory sweep database and once against a
+    durable directory with a mid-workload checkpoint and a simulated
+    ``kill -9`` — then recover the directory and require byte-identical
+    bits.  Crash recovery joins the same cross-platform, cross-config
+    digest gate as every execution knob.
+    """
+    import shutil
+    import tempfile
+
+    statements = _durability_script()
+    for statement in statements:
+        db.execute(statement)
+    expected = db.execute(DURABILITY_QUERY)
+
+    tmp = tempfile.mkdtemp(prefix="repro-digest-durability-")
+    try:
+        config = dict(db.session_defaults)
+        durable = Database(path=tmp, checkpoint_interval=None, **config)
+        try:
+            midpoint = len(statements) // 2
+            for statement in statements[:midpoint]:
+                durable.execute(statement)
+            durable.checkpoint()
+            for statement in statements[midpoint:]:
+                durable.execute(statement)
+        finally:
+            durable.simulate_crash()
+        recovered = Database(path=tmp, checkpoint_interval=None, **config)
+        try:
+            result = recovered.execute(DURABILITY_QUERY)
+            if canonical_bytes(result) != canonical_bytes(expected):
+                raise SystemExit(
+                    "NON-REPRODUCIBLE: durability leg recovered to bits "
+                    "that differ from the never-crashed database"
+                )
+        finally:
+            recovered.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return result
+
+
 def tpch_scale() -> float:
     default = str(DEFAULT_TPCH_SCALE)
     return float(os.environ.get("REPRO_DIGEST_TPCH_SCALE", default))
@@ -327,6 +414,7 @@ QUERIES = (
     ("join_edge_keys", "join_edge", JOIN_EDGE_QUERY, True),
     ("view_maintenance", None, _view_maintenance, False),
     ("concurrent_serving", None, _concurrent_serving, False),
+    ("durability", None, _durability, False),
 )
 
 

@@ -42,12 +42,16 @@ from .errors import (
     AdmissionError,
     BindError,
     CatalogError,
+    CheckpointError,
     ConfigError,
     ConnectionClosed,
     ParseError,
     ProtocolError,
     QueryTimeout,
     ReproError,
+    SpillFormatError,
+    StorageError,
+    WalCorruptError,
 )
 from .fp import same_bits
 
@@ -63,6 +67,11 @@ __all__ = [
     "QueryTimeout",
     "ProtocolError",
     "ConnectionClosed",
+    "StorageError",
+    "SpillFormatError",
+    "WalCorruptError",
+    "CheckpointError",
+    "open",
     "connect",
     "reproducible_sum",
     "reproducible_dot",
@@ -83,12 +92,40 @@ __all__ = [
 ]
 
 
+def open(path=None, **session_defaults):
+    """Open a local database — the embedded twin of :func:`connect`.
+
+    ``repro.open()`` and ``repro.connect()`` are the two symmetric
+    entry points: ``open`` gives you an in-process
+    :class:`~repro.engine.session.Database` (``path=None`` keeps it
+    purely in memory; a directory path makes it **durable** — tables,
+    materialized views, and the version clock persist through a
+    checkpoint plus write-ahead log, and reopening after a crash
+    replays to a byte-identical state), while ``connect`` reaches the
+    same session surface over the network.
+
+    Keyword arguments are session defaults (``sum_mode``, ``workers``,
+    ``vectorized``, ...) exactly as for
+    :class:`~repro.engine.session.Database`.
+
+    >>> with repro.open() as db:                       # doctest: +SKIP
+    ...     db.execute("CREATE TABLE t (f DOUBLE)")
+    >>> db = repro.open("/var/lib/repro")              # doctest: +SKIP
+    >>> db.checkpoint()                                # doctest: +SKIP
+    """
+    from .engine.session import Database
+
+    return Database(path=path, **session_defaults)
+
+
 def connect(address, **kwargs):
     """Open a network :class:`~repro.client.RemoteSession` to a repro
-    server (convenience facade over :func:`repro.client.connect`).
+    server — the remote twin of :func:`open`.
 
     ``address`` is ``(host, port)`` for TCP or a filesystem path for a
-    unix socket.
+    unix socket.  The returned session speaks the same ``execute`` /
+    ``explain`` surface as a local :func:`open` session; point the
+    server at a ``--data-dir`` and the data it serves is durable.
     """
     from .client import connect as _connect
 

@@ -434,15 +434,19 @@ def _grouped_arrays(query: PhysicalQuery, morsels: list[Batch], transform,
 
 
 def compute_grouped_arrays(query: PhysicalQuery, context: ExecutionContext,
-                           timings: OperatorTimings | None = None):
+                           timings: OperatorTimings | None = None,
+                           snapshot: int | None = None):
     """Drive one physical aggregate query up to (but not through) the
     finishing stages: ``(key_arrays, result_arrays, ngroups)``.
 
     Used by full-recompute materialized-view refresh
     (:mod:`repro.engine.matview`), which stores the raw aggregate
-    state rather than the projected output.
+    state rather than the projected output.  ``snapshot`` pins the base
+    scan at a row-version watermark so a replayed REFRESH aggregates
+    exactly the rows the original one saw.
     """
-    morsels, transform = _instantiate(query.pipeline, context, timings)
+    morsels, transform = _instantiate(query.pipeline, context, timings,
+                                      snapshot)
     return _grouped_arrays(query, morsels, transform, context, timings)
 
 

@@ -277,6 +277,13 @@ class MaterializedView:
         self._served = None
         self._populated = False
         self.refresh_count = 0
+        #: durable store logging REFRESHes (None = in-memory database)
+        self._storage = None
+        #: set by :meth:`restore_served`: the maintenance table must be
+        #: rebuilt from the base table before the next incremental
+        #: refresh (checkpoints persist served results, not the
+        #: retractable states)
+        self._needs_rebuild = False
 
     # -- freshness ---------------------------------------------------------
     def is_fresh(self) -> bool:
@@ -312,25 +319,37 @@ class MaterializedView:
         )
 
     # -- refresh -----------------------------------------------------------
-    def refresh(self, context: ExecutionContext) -> int:
-        """Bring the view up to the base table's current watermark.
+    def refresh(self, context: ExecutionContext,
+                to_version: int | None = None) -> int:
+        """Bring the view up to the base table's watermark.
 
         Incremental mode merges the partial states of rows inserted
         since the consumed watermark and retracts those of rows deleted
         since; full mode recomputes through the regular query pipeline.
         Returns the number of delta rows consumed (incremental) or the
         number of rows scanned (full).
+
+        ``to_version`` pins the refresh at an explicit row-version
+        watermark instead of the table's current one.  WAL recovery
+        uses this to replay a logged REFRESH at exactly the watermark
+        it originally committed at, so the replayed view state is
+        byte-identical even when later mutations follow in the log.
         """
+        target = (
+            self.table.version if to_version is None else int(to_version)
+        )
         if self.maintenance == "incremental":
-            consumed = self._refresh_incremental(context)
+            consumed = self._refresh_incremental(context, target)
         else:
-            consumed = self._refresh_full(context)
-        self.watermark = self.table.version
+            consumed = self._refresh_full(context, target)
+        self.watermark = target
         self._populated = True
         self._served = (
             self.watermark, self.key_arrays, self.agg_results, self.ngroups
         )
         self.refresh_count += 1
+        if self._storage is not None:
+            self._storage.log_view_refreshed(self, context)
         return consumed
 
     def _delta_batches(self, mask: np.ndarray, context: ExecutionContext,
@@ -362,8 +381,35 @@ class MaterializedView:
             filtered.append(batch)
         return filtered, nrows
 
-    def _refresh_incremental(self, context: ExecutionContext) -> int:
-        inserted, deleted = self.table.delta_masks(self.watermark)
+    def _ensure_maintenance(self, context: ExecutionContext) -> None:
+        """Rebuild the retractable maintenance state after recovery.
+
+        A checkpoint persists the view's *served* arrays but not the
+        maintenance group table; the first incremental refresh after a
+        restore reconstructs it by replaying every row live at the
+        consumed watermark through ``update``.  Exact merging makes the
+        rebuilt states finalize to the same bytes the lost ones would
+        have, so refreshes pick up exactly where the crashed process
+        left off.  Deferred to refresh time (not restore time) because
+        a fuzzy checkpoint's view watermark may be ahead of its table
+        image — the missing rows arrive via WAL replay.
+        """
+        if not self._needs_rebuild:
+            return
+        table = MaintenanceGroupTable(self.group_exprs, self.specs)
+        mask = self.table.snapshot_mask(self.watermark)
+        batches, _ = self._delta_batches(mask, context, keep_empty=True)
+        for batch in batches:
+            table.update(batch)
+        self._maintenance_table = table
+        self._needs_rebuild = False
+
+    def _refresh_incremental(self, context: ExecutionContext,
+                             target: int) -> int:
+        self._ensure_maintenance(context)
+        inserted, deleted = self.table.delta_masks(
+            self.watermark, upto=target
+        )
         # The insert side always feeds at least one (possibly empty)
         # batch: state dtypes prime exactly as the pipeline's
         # one-empty-morsel scan primes them, so an empty table's view
@@ -383,15 +429,15 @@ class MaterializedView:
         self._store(key_arrays, results, ngroups)
         return int(ins_rows + del_rows)
 
-    def _refresh_full(self, context: ExecutionContext) -> int:
+    def _refresh_full(self, context: ExecutionContext, target: int) -> int:
         from .executor import compute_grouped_arrays
 
         physical = plan_physical(self.logical, context, self.sum_config)
         key_arrays, results, ngroups = compute_grouped_arrays(
-            physical, context
+            physical, context, snapshot=target
         )
         self._store(key_arrays, results, ngroups)
-        return len(self.table)
+        return int(np.count_nonzero(self.table.snapshot_mask(target)))
 
     def _store(self, key_arrays, results, ngroups: int) -> None:
         # Copy: finalize may hand back a state's internal array (e.g.
@@ -404,6 +450,35 @@ class MaterializedView:
             for spec, arr in zip(self.specs, results)
         }
         self.ngroups = int(ngroups)
+
+    # -- durability --------------------------------------------------------
+    def restore_served(self, watermark: int, key_arrays, agg_results,
+                       ngroups: int, populated: bool,
+                       refresh_count: int) -> None:
+        """Install checkpointed served state (recovery path).
+
+        The served arrays come back exactly as they were dumped — the
+        checkpoint holds their raw bits.  The retractable maintenance
+        state is *not* checkpointed; :attr:`_needs_rebuild` defers its
+        reconstruction to the first incremental refresh, by which time
+        WAL replay has delivered every base row up to ``watermark``.
+        """
+        self.watermark = int(watermark)
+        self.key_arrays = [np.array(arr, copy=True) for arr in key_arrays]
+        self.agg_results = {
+            name: np.array(arr, copy=True)
+            for name, arr in agg_results.items()
+        }
+        self.ngroups = int(ngroups)
+        self._populated = bool(populated)
+        self.refresh_count = int(refresh_count)
+        if self._populated:
+            self._served = (
+                self.watermark, self.key_arrays, self.agg_results,
+                self.ngroups,
+            )
+            if self.maintenance == "incremental":
+                self._needs_rebuild = True
 
     def state_bytes(self) -> int:
         """Resident bytes of the maintenance state (0 in full mode)."""

@@ -234,8 +234,11 @@ class Session:
     def close(self) -> None:
         """Release session resources — the thread worker pool and any
         shard worker processes.  The catalog belongs to the database
-        and is untouched.  Idempotent."""
-        self.execution_context.close()
+        and is untouched.  Idempotent, and safe on a session whose
+        ``__init__`` failed partway (e.g. an invalid knob)."""
+        context = getattr(self, "execution_context", None)
+        if context is not None:
+            context.close()
 
     def __enter__(self) -> Session:
         return self
@@ -352,6 +355,15 @@ class Database:
     mode they may drift — the paper's point, now demonstrable with two
     session parameters.
 
+    ``path`` makes the database **durable**: the directory holds a
+    checkpoint image plus a write-ahead log
+    (:class:`~repro.storage.durable.DurableStore`), every committed
+    mutation is logged before the statement returns, and reopening the
+    same path recovers a catalog whose repro-digest is byte-identical
+    to the one that closed — or crashed.  ``path=None`` (the default)
+    keeps everything in memory.  :func:`repro.open` is the public
+    spelling of this constructor.
+
     ``Database.execute(...)``, ``explain``, ``last_timings`` etc.
     remain as **deprecated** thin delegates to an implicit default
     session, so single-session code (and years of tests) run
@@ -374,8 +386,12 @@ class Database:
                  memory_budget: int | None = None,
                  spill_partitions: int | None = None,
                  spill_merge_fanin: int = 0, fused: bool = True,
-                 shards: int = 0, shard_workers: int | None = None):
+                 shards: int = 0, shard_workers: int | None = None,
+                 path: str | None = None, wal_sync: str = "commit",
+                 checkpoint_interval: float | None = 60.0):
         self.catalog = Catalog()
+        self.path = path
+        self._storage = None
         #: session-construction defaults (:meth:`session` overrides)
         self.session_defaults = {
             "sum_mode": sum_mode,
@@ -395,10 +411,33 @@ class Database:
         #: every session ever created over this database (weakly held)
         #: so :meth:`close` can tear all of them down
         self._sessions = weakref.WeakSet()
-        # Created eagerly: constructing it validates every default
-        # knob at Database() time, exactly as the monolithic class did
-        # (the worker pool inside is still lazy).
-        self._default_session = self.session()
+        try:
+            if path is not None:
+                from ..storage.durable import DurableStore
+
+                storage = DurableStore(
+                    path, wal_sync=wal_sync,
+                    checkpoint_interval=checkpoint_interval,
+                )
+                self._storage = storage
+                storage.open_catalog(self.catalog)
+                # SET PERSISTENT defaults recovered from the directory
+                # override the constructor's, exactly as they would
+                # have in the process that set them.
+                for name, value in storage.persistent_defaults.items():
+                    if name in self.session_defaults:
+                        self.session_defaults[name] = value
+            # Created eagerly: constructing it validates every default
+            # knob at Database() time, exactly as the monolithic class
+            # did (the worker pool inside is still lazy).
+            self._default_session = self.session()
+            if self._storage is not None:
+                self._storage.start_checkpointer()
+        except BaseException:
+            # A failed open must not leak the directory lock or a WAL
+            # handle — close() is safe on the partially built object.
+            self.close()
+            raise
 
     # -- sessions ----------------------------------------------------------
     def session(self, **overrides) -> Session:
@@ -421,17 +460,70 @@ class Database:
 
     def close(self) -> None:
         """Tear down every session created over this database —
-        thread pools and shard worker processes included.  The catalog
-        stays readable (a later ``session()`` works), but nothing
-        lingers after exit.  Idempotent."""
-        for session in list(self._sessions):
+        thread pools and shard worker processes included — then fsync
+        and release durable storage (WAL handle, directory lock).  The
+        catalog stays readable (a later ``session()`` works), but
+        nothing lingers after exit.  Idempotent, and safe on a
+        database whose ``__init__`` failed partway."""
+        for session in list(getattr(self, "_sessions", ()) or ()):
             session.close()
+        storage = getattr(self, "_storage", None)
+        if storage is not None:
+            storage.close()
 
     def __enter__(self) -> Database:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    # -- durability --------------------------------------------------------
+    @property
+    def storage(self):
+        """The :class:`~repro.storage.durable.DurableStore` behind a
+        durable database (``None`` when in-memory)."""
+        return self._storage
+
+    def _require_storage(self):
+        from ..errors import StorageError
+
+        if self._storage is None:
+            raise StorageError(
+                "database is in-memory; open it with a path "
+                "(repro.open('/data/dir')) for durability"
+            )
+        return self._storage
+
+    def checkpoint(self) -> int:
+        """Write a full catalog image and compact the WAL behind it.
+        Returns the checkpoint's replay-horizon segment index."""
+        return self._require_storage().checkpoint()
+
+    def flush_wal(self) -> None:
+        """Force the live WAL segment to disk (``wal_sync='never'``
+        mode; commit mode fsyncs every record already)."""
+        self._require_storage().flush_wal()
+
+    def set_default(self, name: str, value) -> None:
+        """Set a session-construction default, durably when the
+        database is: recovered processes see it applied before their
+        first session is built."""
+        if name not in self.session_defaults:
+            raise ReproError(
+                f"unknown session option {name!r}; valid: "
+                + ", ".join(sorted(self.session_defaults))
+            )
+        self.session_defaults[name] = value
+        if self._storage is not None:
+            self._storage.log_set_default(name, value)
+
+    def simulate_crash(self) -> None:
+        """Testing hook: abandon the data directory as ``kill -9``
+        would — handles dropped, no final fsync, no checkpoint."""
+        for session in list(self._sessions):
+            session.close()
+        storage = self._require_storage()
+        storage.simulate_crash()
 
     @property
     def default_session(self) -> Session:

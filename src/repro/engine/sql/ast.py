@@ -155,11 +155,18 @@ class SelectItem:
             return self.expr.name
         return f"col{index}"
 
+    def sql(self) -> str:
+        text = self.expr.sql()
+        return f"{text} AS {self.alias}" if self.alias else text
+
 
 @dataclass(frozen=True)
 class OrderItem:
     expr: Expr
     descending: bool = False
+
+    def sql(self) -> str:
+        return f"{self.expr.sql()} DESC" if self.descending else self.expr.sql()
 
 
 @dataclass(frozen=True)
@@ -219,6 +226,35 @@ class Select:
         if isinstance(self.from_clause, TableRef):
             return self.from_clause.name
         return None
+
+    def sql(self) -> str:
+        """Reparsable SQL text of this SELECT.
+
+        Round-trips through :func:`repro.engine.sql.parser.parse` to an
+        equivalent tree — the durable catalog persists materialized-view
+        definitions as this text and rebinds them at recovery.
+        """
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.sql() for item in self.items))
+        if self.from_clause is not None:
+            parts.append("FROM " + self.from_clause.sql())
+        if self.where is not None:
+            parts.append("WHERE " + self.where.sql())
+        if self.group_by:
+            parts.append(
+                "GROUP BY " + ", ".join(e.sql() for e in self.group_by)
+            )
+        if self.having is not None:
+            parts.append("HAVING " + self.having.sql())
+        if self.order_by:
+            parts.append(
+                "ORDER BY " + ", ".join(o.sql() for o in self.order_by)
+            )
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
 
 
 @dataclass(frozen=True)

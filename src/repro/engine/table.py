@@ -234,6 +234,9 @@ class Table:
         self._clock = clock if clock is not None else VersionClock()
         #: statement/materialization lock (see class docstring)
         self.lock = threading.RLock()
+        #: durable store logging mutations (:mod:`repro.storage.durable`);
+        #: ``None`` keeps the table purely in-memory with zero overhead
+        self._storage = None
         # Incremental caches: appends extend the cached arrays with
         # just the new tail; deletes (rare) invalidate them outright.
         self._valid_arr: np.ndarray | None = None
@@ -253,6 +256,11 @@ class Table:
         with self.lock:
             clock.advance_to(self._version)
             self._clock = clock
+
+    def attach_storage(self, storage) -> None:
+        """Start logging this table's mutations to a durable store."""
+        with self.lock:
+            self._storage = storage
 
     # -- size -------------------------------------------------------------
     def __len__(self) -> int:
@@ -311,22 +319,31 @@ class Table:
             ins, del_ = ins[:n], del_[:n]
             return (ins <= snapshot) & ((del_ == 0) | (del_ > snapshot))
 
-    def delta_masks(self, since: int) -> tuple[np.ndarray, np.ndarray]:
+    def delta_masks(self, since: int,
+                    upto: int | None = None) -> tuple[np.ndarray, np.ndarray]:
         """Physical-row masks of the delta between watermark ``since``
-        and now: ``(inserted, deleted)``.
+        and ``upto`` (default: now): ``(inserted, deleted)``.
 
         ``inserted`` marks rows appended after ``since`` that are still
-        live; ``deleted`` marks rows that were live at ``since`` and
-        have been masked meanwhile.  Rows both appended *and* masked
-        since the watermark cancel out and appear in neither mask.
+        live at ``upto``; ``deleted`` marks rows that were live at
+        ``since`` and have been masked by ``upto``.  Rows both appended
+        *and* masked inside the window cancel out and appear in neither
+        mask.  The bounded form is what lets WAL recovery re-run a
+        REFRESH to exactly its logged watermark even though later
+        mutations are already in the table.
         """
         with self.lock:
             if not self._inserted:
                 empty = np.zeros(0, dtype=bool)
                 return empty, empty.copy()
             ins, del_ = self._version_arrays()
-            inserted = (ins > since) & (del_ == 0)
-            deleted = (ins <= since) & (del_ > since)
+            if upto is None:
+                inserted = (ins > since) & (del_ == 0)
+                deleted = (ins <= since) & (del_ > since)
+            else:
+                alive_at_upto = (del_ == 0) | (del_ > upto)
+                inserted = (ins > since) & (ins <= upto) & alive_at_upto
+                deleted = (ins <= since) & (del_ > since) & (del_ <= upto)
             return inserted, deleted
 
     def changed_between(self, a: int, b: int) -> bool:
@@ -365,11 +382,14 @@ class Table:
         if not rows:
             return 0
         with self.lock:
+            start = len(self._deleted)
             version = self._clock.begin()
             try:
                 for row in rows:
                     self._append_row(row, version)
                 self._version = version
+                if self._storage is not None:
+                    self._storage.log_rows_appended(self, version, start)
             finally:
                 self._clock.commit(version)
         return len(rows)
@@ -389,6 +409,7 @@ class Table:
                 for col_name, _ in self.schema.columns:
                     self._columns[col_name].extend_raw(list(lowered[col_name]))
                 return
+            start = len(self._deleted)
             version = self._clock.begin()
             try:
                 for col_name, _ in self.schema.columns:
@@ -396,6 +417,8 @@ class Table:
                 self._deleted.extend([0] * nrows)
                 self._inserted.extend([version] * nrows)
                 self._version = version
+                if self._storage is not None:
+                    self._storage.log_rows_appended(self, version, start)
             finally:
                 self._clock.commit(version)
 
@@ -417,6 +440,8 @@ class Table:
                 for idx in hits:
                     self._deleted[idx] = version
                 self._version = version
+                if self._storage is not None:
+                    self._storage.log_rows_masked(self, version, hits)
             finally:
                 self._clock.commit(version)
             # Deletes mutate existing entries: drop the caches rather
@@ -438,6 +463,7 @@ class Table:
             ]
             if not hits and not rows:
                 return 0
+            start = len(self._deleted)
             version = self._clock.begin()
             try:
                 for idx in hits:
@@ -445,6 +471,10 @@ class Table:
                 for row in rows:
                     self._append_row(row, version)
                 self._version = version
+                if self._storage is not None:
+                    self._storage.log_rows_replaced(
+                        self, version, hits, start
+                    )
             finally:
                 self._clock.commit(version)
             self._valid_arr = None
@@ -454,6 +484,105 @@ class Table:
     def append_versions(self, rows: list[dict]) -> None:
         """Append new row versions (the re-insertion half of UPDATE)."""
         self.insert_rows(rows)
+
+    # -- durability: logging + replay -------------------------------------
+    def column_tails(self, start: int) -> dict:
+        """Storage arrays of physical rows ``start:`` per column — the
+        physical effect of one append, as the WAL records it."""
+        with self.lock:
+            n = len(self._deleted)
+            return {
+                name: self._columns[name].array()[start:n].copy()
+                for name, _ in self.schema.columns
+            }
+
+    @staticmethod
+    def _storage_values(values) -> list:
+        return values.tolist() if isinstance(values, np.ndarray) else list(
+            values
+        )
+
+    def _extend_physical(self, columns: dict, versions: list[int]) -> None:
+        nrows = len(versions)
+        for name, _ in self.schema.columns:
+            values = self._storage_values(columns[name])
+            if len(values) != nrows:
+                raise ValueError(
+                    f"column {name!r}: {len(values)} values for "
+                    f"{nrows} logged rows"
+                )
+            self._columns[name].extend_raw(values)
+        self._deleted.extend([0] * nrows)
+        self._inserted.extend(versions)
+
+    def replay_append(self, version: int, columns: dict) -> None:
+        """Re-apply one logged append (idempotent: versions the table
+        already contains — a fuzzy checkpoint overlap — are skipped)."""
+        with self.lock:
+            version = int(version)
+            if version <= self._version:
+                return
+            names = self.schema.names()
+            nrows = len(self._storage_values(columns[names[0]])) if names else 0
+            self._extend_physical(columns, [version] * nrows)
+            self._version = version
+            self._clock.advance_to(version)
+
+    def replay_mask(self, version: int, indices) -> None:
+        """Re-apply one logged delete (idempotent, see replay_append)."""
+        with self.lock:
+            version = int(version)
+            if version <= self._version:
+                return
+            for idx in np.asarray(indices, dtype=np.int64).tolist():
+                self._deleted[idx] = version
+            self._version = version
+            self._clock.advance_to(version)
+            self._valid_arr = None
+            self._del_arr = None
+
+    def replay_replace(self, version: int, indices, columns: dict) -> None:
+        """Re-apply one logged UPDATE: mask + append under one version."""
+        with self.lock:
+            version = int(version)
+            if version <= self._version:
+                return
+            for idx in np.asarray(indices, dtype=np.int64).tolist():
+                self._deleted[idx] = version
+            names = self.schema.names()
+            nrows = len(self._storage_values(columns[names[0]])) if names else 0
+            self._extend_physical(columns, [version] * nrows)
+            self._version = version
+            self._clock.advance_to(version)
+            self._valid_arr = None
+            self._del_arr = None
+
+    def restore_physical(self, columns: dict, inserted, deleted,
+                         version: int) -> None:
+        """Install a checkpointed physical state into a freshly created
+        (empty) table: column values, per-row insert/delete versions,
+        and the watermark — the exact layout the image captured."""
+        with self.lock:
+            if self._deleted:
+                raise ValueError("restore_physical requires an empty table")
+            inserted = [int(v) for v in self._storage_values(inserted)]
+            deleted = [int(v) for v in self._storage_values(deleted)]
+            if len(inserted) != len(deleted):
+                raise ValueError("insert/delete version length mismatch")
+            for name, _ in self.schema.columns:
+                values = self._storage_values(columns[name])
+                if len(values) != len(inserted):
+                    raise ValueError(
+                        f"column {name!r} length mismatch in image"
+                    )
+                self._columns[name].extend_raw(values)
+            self._inserted = inserted
+            self._deleted = deleted
+            self._version = int(version)
+            self._clock.advance_to(self._version)
+            self._valid_arr = None
+            self._ins_arr = None
+            self._del_arr = None
 
     # -- access --------------------------------------------------------------
     def column_array(self, name: str, visible_only: bool = True) -> np.ndarray:

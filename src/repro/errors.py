@@ -25,6 +25,10 @@ __all__ = [
     "QueryTimeout",
     "ProtocolError",
     "ConnectionClosed",
+    "StorageError",
+    "SpillFormatError",
+    "WalCorruptError",
+    "CheckpointError",
     "error_code",
     "error_to_wire",
     "error_from_wire",
@@ -101,6 +105,46 @@ class ConnectionClosed(ReproError):
     code = "connection_closed"
 
 
+class StorageError(ReproError):
+    """Base of every durable-storage failure: spill files, the
+    write-ahead log, and checkpoint images.  Carrying a stable code
+    keeps storage failures typed across the server wire instead of
+    leaking as bare ``ValueError`` text."""
+
+    code = "storage_error"
+
+
+class SpillFormatError(StorageError, ValueError):
+    """A spill run file or framed payload is truncated, corrupted, or
+    mis-shaped.
+
+    Lives here (rather than :mod:`repro.storage.spill`, which re-exports
+    it) so the serving layer can serialize it like every other engine
+    error; inherits ``ValueError`` for the callers that predate the
+    typed hierarchy."""
+
+    code = "spill_format_error"
+
+
+class WalCorruptError(StorageError):
+    """The write-ahead log is damaged *before* its tail: a record in
+    the committed middle of the log fails its CRC/frame check while
+    later records are still intact.  Recovery refuses to continue —
+    replaying around a hole could silently produce different bits.
+
+    (A damaged *tail* is not this error: a torn final record is the
+    expected crash shape and recovery truncates it.)"""
+
+    code = "wal_corrupt"
+
+
+class CheckpointError(StorageError):
+    """A checkpoint image is unreadable (bad frame, CRC mismatch,
+    unsupported layout) or could not be written."""
+
+    code = "checkpoint_error"
+
+
 #: code -> class, for re-raising a faithful type client-side.
 _WIRE_TYPES = {
     cls.code: cls
@@ -114,6 +158,10 @@ _WIRE_TYPES = {
         QueryTimeout,
         ProtocolError,
         ConnectionClosed,
+        StorageError,
+        SpillFormatError,
+        WalCorruptError,
+        CheckpointError,
     )
 }
 

@@ -2,16 +2,27 @@
 
     python -m repro.server --port 7474 --sum-mode repro --workers 4
     python -m repro.server --unix /tmp/repro.sock --init schema.sql
+    python -m repro.server --data-dir /var/lib/repro --port 7474
 
 ``--init`` runs a SQL script (one statement per ``;``) against the
 database before accepting connections — the usual way to load a schema
 and seed data for a demo or benchmark.
+
+``--data-dir`` makes the served database durable: every committed
+mutation hits the write-ahead log before its acknowledgement goes back
+over the wire, and a SIGTERM shuts the server down *cleanly* — stop
+accepting, drain, checkpoint, release the directory lock — so the next
+start recovers instantly from the image instead of replaying the log.
+A ``kill -9`` is also safe (that is the point of the WAL); it just
+recovers through replay.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
+import signal
 
 from ..engine import Database
 from . import ReproServer
@@ -26,6 +37,13 @@ def _parse_args(argv=None):
     parser.add_argument("--port", type=int, default=7474)
     parser.add_argument("--unix", default=None, metavar="PATH",
                         help="serve on a unix socket instead of TCP")
+    parser.add_argument("--data-dir", default=None, metavar="DIR",
+                        help="durable data directory (checkpoint + WAL); "
+                             "omit for an in-memory database")
+    parser.add_argument("--checkpoint-interval", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="background WAL compaction cadence "
+                             "(with --data-dir)")
     parser.add_argument("--sum-mode", default="repro",
                         choices=("ieee", "repro", "repro_buffered", "sorted"),
                         help="default SUM semantics for new sessions")
@@ -56,20 +74,49 @@ def _run_init_script(db: Database, path: str) -> int:
 
 
 async def _amain(args) -> None:
-    db = Database(sum_mode=args.sum_mode, workers=args.workers)
-    if args.init:
-        ran = _run_init_script(db, args.init)
-        print(f"init: ran {ran} statements from {args.init}")
-    server = ReproServer(
-        db, host=args.host, port=args.port, unix_path=args.unix,
-        max_inflight=args.max_inflight, max_backlog=args.max_backlog,
-        query_timeout=args.query_timeout,
+    db = Database(
+        sum_mode=args.sum_mode, workers=args.workers,
+        path=args.data_dir,
+        checkpoint_interval=args.checkpoint_interval,
     )
-    await server.start()
-    where = server.address if args.unix else "%s:%d" % server.address
-    print(f"serving on {where} (sum_mode={args.sum_mode}, "
-          f"max_inflight={args.max_inflight})")
-    await server.serve_forever()
+    try:
+        if args.init:
+            ran = _run_init_script(db, args.init)
+            print(f"init: ran {ran} statements from {args.init}")
+        server = ReproServer(
+            db, host=args.host, port=args.port, unix_path=args.unix,
+            max_inflight=args.max_inflight, max_backlog=args.max_backlog,
+            query_timeout=args.query_timeout,
+        )
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+        where = server.address if args.unix else "%s:%d" % server.address
+        durable = f", data_dir={args.data_dir}" if args.data_dir else ""
+        print(f"serving on {where} (sum_mode={args.sum_mode}, "
+              f"max_inflight={args.max_inflight}{durable})")
+        serve = asyncio.ensure_future(server.serve_forever())
+        waiter = asyncio.ensure_future(stop.wait())
+        try:
+            await asyncio.wait(
+                [serve, waiter], return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            waiter.cancel()
+            serve.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serve
+            await server.stop()
+            if args.data_dir:
+                # Sealed shutdown: image the final state so the next
+                # start recovers from the checkpoint, not a log replay.
+                db.checkpoint()
+                print("checkpoint written, data directory sealed")
+    finally:
+        db.close()
 
 
 def main(argv=None) -> None:

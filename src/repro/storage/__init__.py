@@ -12,6 +12,7 @@ checksummed run files that the external GROUP BY operator
 (:mod:`repro.aggregation.external_agg`) spills and re-merges.
 """
 
+from .durable import DurableStore
 from .spill import (
     SPILL_MAGIC,
     FrameDecoder,
@@ -30,11 +31,14 @@ from .spill import (
     unframe_payload,
     write_run_file,
 )
+from .wal import WriteAheadLog
 
 __all__ = [
     "SPILL_MAGIC",
+    "DurableStore",
     "FrameDecoder",
     "SpillFormatError",
+    "WriteAheadLog",
     "dump_buffered_repro",
     "dump_grouped_summation",
     "dump_summation_state",

@@ -1,0 +1,623 @@
+"""Durable storage: checkpoint images + WAL replay = bit-identical recovery.
+
+A durable database lives in one directory::
+
+    <data-dir>/
+        LOCK             # advisory file lock: one process owns the dir
+        checkpoint.bin   # one spill frame: full catalog image
+        wal-00000001.log # sealed WAL segments (covered by checkpoint.bin)
+        wal-00000002.log # live segment: records after the checkpoint
+
+The checkpoint is the physical state of every table — column arrays
+as raw little-endian bytes, the validity/delete vector, per-row
+insert/delete versions, the version-clock watermark — plus every
+materialized view's *served* arrays and consumed watermark, framed and
+CRC-checked exactly like a spill run file.  The WAL
+(:mod:`repro.storage.wal`) holds everything committed since.
+
+Recovery loads the checkpoint, replays the WAL tail, and lands on a
+catalog whose repro-digest is **byte-identical** to the database that
+crashed — reproducible aggregation makes that a machine-checkable
+claim rather than a slogan.  The moving parts that make it hold:
+
+* **Physical-effect logging.** DML records carry the exact column
+  tails / masked physical indices a statement produced, so replay
+  reconstructs the same physical row order (the paper's Algorithm 1
+  territory: physical order is visible to IEEE sums, so recovery
+  preserves it bit-for-bit rather than re-running SQL).
+* **Version-skip idempotency.** Checkpoints are *fuzzy*: the WAL is
+  rotated first, then tables are copied one lock at a time, so a
+  record may be both inside the image and in the live segment.  Every
+  record carries its row-version watermark and replay skips anything
+  the image already contains — applying the log twice is a no-op.
+* **Exact-merge view rebuild.** A view's maintenance state is not
+  persisted; it is rebuilt by feeding the base rows visible at the
+  view's consumed watermark back through the retractable states.
+  Exact merge guarantees the rebuilt state finalizes to the same
+  bytes the incrementally-built one did.
+* **Torn-tail truncation.** A crash mid-append leaves a half record;
+  recovery truncates to the last intact record.  Damage *before*
+  intact records raises :class:`~repro.errors.WalCorruptError` —
+  recovery never silently diverges (see :mod:`repro.storage.wal`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+from ..errors import CatalogError, CheckpointError, StorageError
+from .spill import (
+    SpillFormatError,
+    decode_payload,
+    encode_payload,
+    frame_payload,
+    unframe_payload,
+)
+from .wal import WriteAheadLog, scan_wal
+
+try:  # POSIX advisory locking; absent on Windows (single-process use)
+    import fcntl
+except ImportError:  # pragma: no cover - platform fallback
+    fcntl = None
+
+__all__ = ["DurableStore", "CHECKPOINT_FILE"]
+
+CHECKPOINT_FILE = "checkpoint.bin"
+LOCK_FILE = "LOCK"
+_CHECKPOINT_FORMAT = "repro-checkpoint"
+_CHECKPOINT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# SQL type <-> wire spec
+# ---------------------------------------------------------------------------
+
+
+def _type_spec(sql_type) -> tuple[str, list]:
+    from ..engine.types import (
+        BooleanType,
+        DateType,
+        DecimalSqlType,
+        FloatType,
+        IntType,
+        VarcharType,
+    )
+
+    if isinstance(sql_type, IntType):
+        return sql_type.name, []
+    if isinstance(sql_type, FloatType):
+        return sql_type.name, []
+    if isinstance(sql_type, DecimalSqlType):
+        return "DECIMAL", [int(sql_type.precision), int(sql_type.scale)]
+    if isinstance(sql_type, VarcharType):
+        return "VARCHAR", [int(sql_type.length)]
+    if isinstance(sql_type, DateType):
+        return "DATE", []
+    if isinstance(sql_type, BooleanType):
+        return "BOOLEAN", []
+    raise CheckpointError(
+        f"cannot persist column type {type(sql_type).__name__}"
+    )
+
+
+def _schema_spec(schema) -> list:
+    out = []
+    for name, sql_type in schema.columns:
+        type_name, args = _type_spec(sql_type)
+        out.append([name, type_name, args])
+    return out
+
+
+def _schema_columns(spec) -> list:
+    from ..engine.types import type_from_name
+
+    return [
+        (name, type_from_name(type_name, tuple(args)))
+        for name, type_name, args in spec
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Execution-shape capture for REFRESH replay
+# ---------------------------------------------------------------------------
+
+_CTX_KNOBS = (
+    "workers", "morsel_size", "vectorized", "fused", "join_build",
+    "memory_budget_bytes", "spill_partitions", "spill_merge_fanin",
+)
+
+
+def _context_spec(context) -> dict:
+    """The bit-relevant execution knobs of a refresh, for the WAL."""
+    return {knob: getattr(context, knob) for knob in _CTX_KNOBS}
+
+
+class _ContextCache:
+    """Recovery-time :class:`ExecutionContext` pool, one per distinct
+    logged execution shape (old logs without a shape share a default)."""
+
+    def __init__(self):
+        self._contexts: dict = {}
+
+    def get(self, spec: dict | None):
+        from ..engine.pipeline import DEFAULT_MORSEL_SIZE, ExecutionContext
+
+        key = (
+            None if spec is None
+            else tuple(sorted((k, spec[k]) for k in spec))
+        )
+        context = self._contexts.get(key)
+        if context is None:
+            if spec is None:
+                context = ExecutionContext(1, DEFAULT_MORSEL_SIZE)
+            else:
+                context = ExecutionContext(**spec)
+            self._contexts[key] = context
+        return context
+
+    def close(self) -> None:
+        for context in self._contexts.values():
+            context.close()
+        self._contexts.clear()
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+class DurableStore:
+    """One database directory: lock, checkpoint image, WAL segments.
+
+    The store hangs off the catalog (``catalog.storage``) and every
+    table/view of a durable database points back at it; the engine's
+    mutation paths call the ``log_*`` methods *under their existing
+    statement locks*, so the WAL observes exactly the order mutations
+    were applied in.
+    """
+
+    def __init__(self, path: str, wal_sync: str = "commit",
+                 checkpoint_interval: float | None = 60.0,
+                 wal_limit_bytes: int = 64 << 20):
+        self.path = os.path.abspath(path)
+        os.makedirs(self.path, exist_ok=True)
+        self.wal_sync = wal_sync
+        self.checkpoint_interval = checkpoint_interval
+        self.wal_limit_bytes = wal_limit_bytes
+        self.catalog = None
+        self.wal: WriteAheadLog | None = None
+        self.closed = False
+        self.checkpoints_taken = 0
+        #: database-level session defaults persisted via SET-default
+        self.persistent_defaults: dict = {}
+        self._ckpt_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._checkpointer: threading.Thread | None = None
+        self._lock_handle = None
+        self._acquire_lock()
+
+    # -- directory lock ----------------------------------------------------
+    def _acquire_lock(self) -> None:
+        handle = open(os.path.join(self.path, LOCK_FILE), "a+")
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                handle.close()
+                raise StorageError(
+                    f"data directory {self.path!r} is locked by another "
+                    f"process"
+                ) from None
+        self._lock_handle = handle
+
+    def _release_lock(self) -> None:
+        handle, self._lock_handle = self._lock_handle, None
+        if handle is not None:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            handle.close()
+
+    # -- recovery ----------------------------------------------------------
+    def open_catalog(self, catalog) -> None:
+        """Restore ``catalog`` from checkpoint + WAL, then attach for
+        logging.  The catalog must be empty."""
+        contexts = _ContextCache()
+        first_segment = 1
+        next_lsn = 1
+        try:
+            image_path = os.path.join(self.path, CHECKPOINT_FILE)
+            if os.path.exists(image_path):
+                image = self._read_checkpoint(image_path)
+                first_segment = int(image["wal_segment"])
+                next_lsn = int(image["next_lsn"])
+                self._restore_image(catalog, image)
+            for record in scan_wal(self.path, first_segment, repair=True):
+                self._apply(catalog, record, contexts)
+                next_lsn = int(record["lsn"]) + 1
+        finally:
+            contexts.close()
+        self.wal = WriteAheadLog(self.path, sync=self.wal_sync)
+        self.wal.set_next_lsn(next_lsn)
+        self.attach(catalog)
+
+    def attach(self, catalog) -> None:
+        """Wire the catalog (and everything in it) to this store."""
+        self.catalog = catalog
+        catalog.attach_storage(self)
+
+    def start_checkpointer(self) -> None:
+        """Start the background WAL compactor (no-op when the interval
+        is ``None``)."""
+        if self.checkpoint_interval is None or self._checkpointer:
+            return
+        thread = threading.Thread(
+            target=self._checkpoint_loop, name="repro-checkpointer",
+            daemon=True,
+        )
+        self._checkpointer = thread
+        thread.start()
+
+    def _checkpoint_loop(self) -> None:
+        poll = min(1.0, self.checkpoint_interval)
+        waited = 0.0
+        while not self._stop.wait(poll):
+            waited += poll
+            try:
+                tail = self.wal.tail_bytes()
+            except ValueError:
+                return
+            if tail and (
+                waited >= self.checkpoint_interval
+                or tail >= self.wal_limit_bytes
+            ):
+                waited = 0.0
+                try:
+                    self.checkpoint()
+                except (StorageError, ValueError):  # pragma: no cover
+                    # A failed background checkpoint only delays
+                    # compaction; the WAL alone still recovers.
+                    pass
+
+    # -- checkpoint --------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Write one full catalog image and compact the WAL behind it.
+
+        Fuzzy and non-blocking for readers: the WAL is rotated first
+        (a file open under the WAL mutex), tables and views are then
+        copied one statement-lock at a time, and version-skip replay
+        makes the rotation-to-copy overlap harmless.  Returns the
+        image's replay-horizon segment index.
+        """
+        with self._ckpt_lock:
+            if self.closed or self.wal is None:
+                raise StorageError("durable store is closed")
+            horizon = self.wal.rotate()
+            next_lsn = self.wal.next_lsn
+            image = self._capture_image(horizon, next_lsn)
+            payload = frame_payload(encode_payload(image))
+            final = os.path.join(self.path, CHECKPOINT_FILE)
+            tmp = final + ".tmp"
+            try:
+                with open(tmp, "wb") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, final)
+                dir_fd = os.open(self.path, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+            except OSError as exc:
+                raise CheckpointError(
+                    f"cannot write checkpoint in {self.path!r}: {exc}"
+                ) from exc
+            self.wal.remove_segments_below(horizon)
+            self.checkpoints_taken += 1
+            return horizon
+
+    def flush_wal(self) -> None:
+        """Force the live WAL segment to disk (only meaningful with
+        ``wal_sync='never'``; commit mode already fsyncs per record)."""
+        if self.wal is not None and not self.closed:
+            self.wal.flush()
+
+    def _capture_image(self, horizon: int, next_lsn: int) -> dict:
+        catalog = self.catalog
+        with catalog._ddl_lock:
+            tables = list(catalog._tables.values())
+            views = list(catalog._views.values())
+        image = {
+            "format": _CHECKPOINT_FORMAT,
+            "version": _CHECKPOINT_VERSION,
+            "wal_segment": int(horizon),
+            "next_lsn": int(next_lsn),
+            "defaults": dict(self.persistent_defaults),
+            "tables": [self._dump_table(table) for table in tables],
+            "views": [self._dump_view(view) for view in views],
+        }
+        image["clock"] = int(catalog.clock.value)
+        return image
+
+    @staticmethod
+    def _dump_table(table) -> dict:
+        with table.lock:
+            n = len(table._deleted)
+            columns = {
+                name: table._columns[name].array()[:n].copy()
+                for name, _ in table.schema.columns
+            }
+            return {
+                "name": table.name,
+                "schema": _schema_spec(table.schema),
+                "version": int(table._version),
+                "inserted": np.asarray(table._inserted, dtype=np.int64),
+                "deleted": np.asarray(table._deleted, dtype=np.int64),
+                "columns": columns,
+            }
+
+    @staticmethod
+    def _dump_view(view) -> dict:
+        with view.table.lock:
+            return {
+                "name": view.name,
+                "sql": view.select.sql(),
+                "sum_mode": view.sum_config.mode,
+                "levels": int(view.sum_config.levels),
+                "buffer_size": view.sum_config.buffer_size,
+                "watermark": int(view.watermark),
+                "populated": bool(view._populated),
+                "refresh_count": int(view.refresh_count),
+                "ngroups": int(view.ngroups),
+                "key_arrays": [np.array(a, copy=True)
+                               for a in view.key_arrays],
+                "agg_results": {
+                    sql: np.array(a, copy=True)
+                    for sql, a in view.agg_results.items()
+                },
+            }
+
+    @staticmethod
+    def _read_checkpoint(path: str) -> dict:
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            image = decode_payload(unframe_payload(blob, context=path))
+        except (OSError, SpillFormatError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint {path!r}: {exc}"
+            ) from exc
+        if (
+            not isinstance(image, dict)
+            or image.get("format") != _CHECKPOINT_FORMAT
+            or image.get("version") != _CHECKPOINT_VERSION
+        ):
+            raise CheckpointError(
+                f"unsupported checkpoint layout in {path!r}"
+            )
+        return image
+
+    def _restore_image(self, catalog, image: dict) -> None:
+        try:
+            for spec in image["tables"]:
+                table = catalog.create_table(
+                    spec["name"], _schema_columns(spec["schema"])
+                )
+                table.restore_physical(
+                    spec["columns"], spec["inserted"], spec["deleted"],
+                    spec["version"],
+                )
+            for spec in image["views"]:
+                view = self._make_view(catalog, spec)
+                catalog.create_view(view)
+                view.restore_served(
+                    spec["watermark"], spec["key_arrays"],
+                    spec["agg_results"], spec["ngroups"],
+                    spec["populated"], spec["refresh_count"],
+                )
+            self.persistent_defaults.update(image.get("defaults", {}))
+            catalog.clock.advance_to(int(image["clock"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint image: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _make_view(catalog, spec: dict):
+        from ..engine.matview import MaterializedView
+        from ..engine.operators import SumConfig
+        from ..engine.sql import ast, parse
+
+        select = parse(spec["sql"])
+        if not isinstance(select, ast.Select):
+            raise CheckpointError(
+                f"view {spec.get('name')!r} definition is not a SELECT"
+            )
+        config = SumConfig(
+            spec["sum_mode"], int(spec["levels"]), spec["buffer_size"]
+        )
+        return MaterializedView(
+            spec["name"], select, catalog.get, config
+        )
+
+    # -- WAL replay --------------------------------------------------------
+    def _apply(self, catalog, record: dict, contexts) -> None:
+        op = record.get("op")
+        if op == "append":
+            catalog.get(record["table"]).replay_append(
+                record["version"], record["cols"]
+            )
+        elif op == "mask":
+            catalog.get(record["table"]).replay_mask(
+                record["version"], record["rows"]
+            )
+        elif op == "replace":
+            catalog.get(record["table"]).replay_replace(
+                record["version"], record["rows"], record["cols"]
+            )
+        elif op == "create_table":
+            if record["name"] not in catalog:
+                catalog.create_table(
+                    record["name"], _schema_columns(record["schema"])
+                )
+        elif op == "attach_table":
+            if record["name"] not in catalog:
+                table = catalog.create_table(
+                    record["name"], _schema_columns(record["schema"])
+                )
+                table.restore_physical(
+                    record["cols"], record["inserted"], record["deleted"],
+                    record["version"],
+                )
+        elif op == "drop_table":
+            catalog.drop(record["name"], if_exists=True)
+        elif op == "create_view":
+            try:
+                catalog.get_view(record["name"])
+            except CatalogError:
+                catalog.create_view(self._make_view(catalog, record))
+        elif op == "drop_view":
+            catalog.drop_view(record["name"], if_exists=True)
+        elif op == "refresh_view":
+            view = catalog.get_view(record["name"])
+            watermark = int(record["watermark"])
+            if watermark > view.watermark or not view._populated:
+                # Replay under the *original* execution shape: repro
+                # views are shape-invariant anyway, but an IEEE-mode
+                # full recompute is only bit-faithful with the same
+                # workers x morsel x vectorized x fused configuration.
+                view.refresh(
+                    contexts.get(record.get("ctx")),
+                    to_version=watermark,
+                )
+        elif op == "set_default":
+            self.persistent_defaults[record["name"]] = record["value"]
+        else:
+            raise CheckpointError(f"unknown WAL record op {op!r}")
+
+    # -- logging (called by the engine under its statement locks) ----------
+    def _append(self, record: dict) -> None:
+        if self.closed or self.wal is None:
+            return
+        self.wal.append(record)
+
+    def log_rows_appended(self, table, version: int, start: int) -> None:
+        self._append({
+            "op": "append",
+            "table": table.name,
+            "version": int(version),
+            "cols": table.column_tails(start),
+        })
+
+    def log_rows_masked(self, table, version: int, hits: list) -> None:
+        self._append({
+            "op": "mask",
+            "table": table.name,
+            "version": int(version),
+            "rows": np.asarray(hits, dtype=np.int64),
+        })
+
+    def log_rows_replaced(self, table, version: int, hits: list,
+                          start: int) -> None:
+        self._append({
+            "op": "replace",
+            "table": table.name,
+            "version": int(version),
+            "rows": np.asarray(hits, dtype=np.int64),
+            "cols": table.column_tails(start),
+        })
+
+    def log_create_table(self, table) -> None:
+        self._append({
+            "op": "create_table",
+            "name": table.name,
+            "schema": _schema_spec(table.schema),
+        })
+
+    def log_attach_table(self, table) -> None:
+        """A pre-populated table joined the catalog: log its full
+        physical state (rows were born outside the WAL's sight)."""
+        with table.lock:
+            n = len(table._deleted)
+            self._append({
+                "op": "attach_table",
+                "name": table.name,
+                "schema": _schema_spec(table.schema),
+                "version": int(table._version),
+                "inserted": np.asarray(table._inserted, dtype=np.int64),
+                "deleted": np.asarray(table._deleted, dtype=np.int64),
+                "cols": {
+                    name: table._columns[name].array()[:n].copy()
+                    for name, _ in table.schema.columns
+                },
+            })
+
+    def log_drop_table(self, name: str) -> None:
+        self._append({"op": "drop_table", "name": name})
+
+    def log_create_view(self, view) -> None:
+        self._append({
+            "op": "create_view",
+            "name": view.name,
+            "sql": view.select.sql(),
+            "sum_mode": view.sum_config.mode,
+            "levels": int(view.sum_config.levels),
+            "buffer_size": view.sum_config.buffer_size,
+        })
+
+    def log_drop_view(self, name: str) -> None:
+        self._append({"op": "drop_view", "name": name})
+
+    def log_view_refreshed(self, view, context) -> None:
+        self._append({
+            "op": "refresh_view",
+            "name": view.name,
+            "watermark": int(view.watermark),
+            "ctx": _context_spec(context),
+        })
+
+    def log_set_default(self, name: str, value) -> None:
+        self.persistent_defaults[name] = value
+        self._append({"op": "set_default", "name": name, "value": value})
+
+    # -- teardown ----------------------------------------------------------
+    def _stop_checkpointer(self) -> None:
+        self._stop.set()
+        thread, self._checkpointer = self._checkpointer, None
+        if thread is not None:
+            thread.join(timeout=10.0)
+
+    def close(self) -> None:
+        """Fsync the WAL, stop the checkpointer, release the directory
+        lock.  Idempotent; safe on a partially constructed store."""
+        if self.closed:
+            self._release_lock()
+            return
+        self.closed = True
+        self._stop_checkpointer()
+        wal = self.wal
+        if wal is not None:
+            wal.close()
+        self._release_lock()
+
+    def simulate_crash(self) -> None:
+        """Testing hook: abandon the directory the way ``kill -9``
+        would — no final fsync, no checkpoint, just dropped handles.
+        Everything a committed statement fsynced is still on disk;
+        nothing else is."""
+        if self.closed:
+            self._release_lock()
+            return
+        self.closed = True
+        self._stop_checkpointer()
+        wal = self.wal
+        if wal is not None:
+            wal.drop_handle()
+        self._release_lock()

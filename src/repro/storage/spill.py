@@ -39,6 +39,7 @@ import numpy as np
 
 from ..core.params import RsumParams
 from ..core.state import SummationState
+from ..errors import SpillFormatError
 from ..fp.formats import format_by_name
 
 __all__ = [
@@ -64,10 +65,6 @@ __all__ = [
 
 SPILL_MAGIC = b"RSPILL01"
 _END_MARK = b"RSPLEND."
-
-
-class SpillFormatError(ValueError):
-    """A spill run file is truncated, corrupted, or mis-shaped."""
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,145 @@
+"""WAL framing, segmentation, and damage classification.
+
+The crash contract under test (see :mod:`repro.storage.wal`): a torn
+tail — the expected residue of dying mid-append — silently truncates
+to the last intact record, while damage *before* intact records means
+committed data was mangled and must raise
+:class:`~repro.errors.WalCorruptError` rather than replay to a
+database that differs from the one that crashed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import WalCorruptError
+from repro.storage.wal import (
+    WriteAheadLog,
+    list_segments,
+    read_segment,
+    scan_wal,
+    segment_path,
+)
+
+
+def _wal(tmp_path, **kwargs) -> WriteAheadLog:
+    return WriteAheadLog(str(tmp_path), **kwargs)
+
+
+def test_append_scan_round_trip(tmp_path):
+    wal = _wal(tmp_path)
+    wal.append({"op": "a", "value": 1})
+    wal.append({"op": "b", "cols": {"f": np.array([0.1, 0.2])}})
+    wal.close()
+    records = scan_wal(str(tmp_path))
+    assert [r["op"] for r in records] == ["a", "b"]
+    assert [r["lsn"] for r in records] == [1, 2]
+    # ndarray payloads round-trip their exact bits
+    got = records[1]["cols"]["f"]
+    assert got.dtype == np.float64
+    assert got.tobytes() == np.array([0.1, 0.2]).tobytes()
+
+
+def test_lsns_survive_reopen(tmp_path):
+    wal = _wal(tmp_path)
+    wal.append({"op": "a"})
+    wal.close()
+    reopened = _wal(tmp_path)
+    reopened.set_next_lsn(2)
+    reopened.append({"op": "b"})
+    reopened.close()
+    assert [r["lsn"] for r in scan_wal(str(tmp_path))] == [1, 2]
+
+
+def test_rotate_and_compact(tmp_path):
+    wal = _wal(tmp_path)
+    wal.append({"op": "a"})
+    horizon = wal.rotate()
+    assert horizon == 2
+    wal.append({"op": "b"})
+    assert len(list_segments(str(tmp_path))) == 2
+    # Records before the horizon become redundant after a checkpoint.
+    assert wal.remove_segments_below(horizon) == 1
+    wal.close()
+    records = scan_wal(str(tmp_path), first_segment=horizon)
+    assert [r["op"] for r in records] == ["b"]
+
+
+def test_torn_tail_truncates(tmp_path):
+    wal = _wal(tmp_path)
+    wal.append({"op": "a"})
+    wal.append({"op": "b"})
+    wal.close()
+    path = segment_path(str(tmp_path), 1)
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(size - 3)  # die mid-append of record 2
+    records, valid = read_segment(path, repair=True)
+    assert [r["op"] for r in records] == ["a"]
+    # repair physically removed the torn bytes
+    assert os.path.getsize(path) == valid
+
+
+def test_mid_log_damage_raises(tmp_path):
+    wal = _wal(tmp_path)
+    wal.append({"op": "a"})
+    wal.append({"op": "b"})
+    wal.close()
+    path = segment_path(str(tmp_path), 1)
+    with open(path, "r+b") as handle:
+        blob = bytearray(handle.read())
+        blob[12] ^= 0xFF  # inside record 1, with record 2 intact after
+        handle.seek(0)
+        handle.write(blob)
+    with pytest.raises(WalCorruptError):
+        read_segment(path)
+
+
+def test_torn_nonlast_segment_raises(tmp_path):
+    wal = _wal(tmp_path)
+    wal.append({"op": "a"})
+    wal.rotate()
+    wal.append({"op": "b"})
+    wal.close()
+    first = segment_path(str(tmp_path), 1)
+    with open(first, "r+b") as handle:
+        handle.truncate(os.path.getsize(first) - 1)
+    with pytest.raises(WalCorruptError):
+        scan_wal(str(tmp_path))
+
+
+def test_lsn_regression_raises(tmp_path):
+    # Two segments whose records claim the same LSN: data was lost or
+    # reordered even though every frame is intact.
+    wal_a = WriteAheadLog(str(tmp_path))
+    wal_a.append({"op": "a"})
+    wal_a.rotate()
+    wal_a.close()
+    wal_b = WriteAheadLog(str(tmp_path))  # starts over at LSN 1
+    wal_b.append({"op": "b"})
+    wal_b.close()
+    with pytest.raises(WalCorruptError):
+        scan_wal(str(tmp_path))
+
+
+def test_closed_wal_refuses_appends(tmp_path):
+    wal = _wal(tmp_path)
+    wal.close()
+    wal.close()  # idempotent
+    with pytest.raises(ValueError):
+        wal.append({"op": "a"})
+
+
+def test_drop_handle_keeps_committed_records(tmp_path):
+    wal = _wal(tmp_path, sync="commit")
+    wal.append({"op": "a"})
+    wal.drop_handle()  # kill -9: no final fsync
+    assert [r["op"] for r in scan_wal(str(tmp_path))] == ["a"]
+
+
+def test_sync_mode_validated(tmp_path):
+    with pytest.raises(ValueError):
+        WriteAheadLog(str(tmp_path), sync="sometimes")

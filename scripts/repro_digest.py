@@ -24,7 +24,14 @@ The fused axis extends it to code generation: plans compiled into one
 fused morsel kernel (:mod:`repro.engine.fused`) and the same plans run
 through the interpreted operator pipeline must also agree bit for bit
 — including the automatic fallback legs where fusion declines (scalar
-path, external aggregation).
+path, external aggregation).  The join legs (``tpch_q3`` and
+``join_edge_fused``) cross it with the build-side axis: there the
+``fused=on`` configs run the fused join-probe kernel (probe → gather →
+filter → aggregate in one morsel pass) and the script *asserts* the
+kernel engaged, so the comparison is genuinely kernel-vs-interpreter
+and not interpreter-vs-interpreter; ``join_edge_keys`` keeps a
+COUNT DISTINCT so the automatic join-plan decline stays in the gate
+too.
 
 Env overrides (so matrix legs vary without changing the command line):
 
@@ -69,6 +76,14 @@ EDGE_QUERY = "SELECT k, SUM(v) AS sv, COUNT(*) AS c FROM edge GROUP BY k ORDER B
 JOIN_EDGE_QUERY = (
     "SELECT jl.k AS k, SUM(v) AS sv, SUM(w) AS sw, "
     "COUNT(DISTINCT v) AS dv, COUNT(*) AS c "
+    "FROM jl, jr WHERE jl.k = jr.k GROUP BY jl.k ORDER BY k"
+)
+#: Same adversarial-key join without COUNT DISTINCT (which declines
+#: fusion), so the fused axis exercises the fused join-probe kernel
+#: rather than the interpreted fallback on both settings.
+JOIN_EDGE_FUSED_QUERY = (
+    "SELECT jl.k AS k, SUM(v) AS sv, SUM(w) AS sw, COUNT(*) AS c, "
+    "MIN(v) AS lo, MAX(v) AS hi "
     "FROM jl, jr WHERE jl.k = jr.k GROUP BY jl.k ORDER BY k"
 )
 VIEW_QUERY = (
@@ -412,10 +427,16 @@ QUERIES = (
     ("mixed_aggs", "mixed", MIXED_QUERY, False),
     ("edge_keys", "edge", EDGE_QUERY, False),
     ("join_edge_keys", "join_edge", JOIN_EDGE_QUERY, True),
+    ("join_edge_fused", "join_edge", JOIN_EDGE_FUSED_QUERY, True),
     ("view_maintenance", None, _view_maintenance, False),
     ("concurrent_serving", None, _concurrent_serving, False),
     ("durability", None, _durability, False),
 )
+
+#: Join legs whose ``fused=on`` configs must actually engage the fused
+#: join-probe kernel — otherwise the fused axis silently degenerates to
+#: interpreted-vs-interpreted and the gate proves nothing.
+FUSED_JOIN_QUERY_IDS = frozenset({"tpch_q3", "join_edge_fused"})
 
 
 def parse_workers(text: str) -> list[int]:
@@ -545,6 +566,15 @@ def digest_lines(workers, build_sides, budgets=(None,), queries=QUERIES,
                     else:
                         result = db.execute(sql)
                     payload = canonical_bytes(result)
+                    if (query_id in FUSED_JOIN_QUERY_IDS and fused
+                            and vectorized and budget is None):
+                        stats = db.last_pipeline_stats
+                        if stats is None or not stats.fused:
+                            raise SystemExit(
+                                f"{query_id}: fused=on leg at {config} "
+                                "did not engage the fused join-probe "
+                                "kernel"
+                            )
                 finally:
                     # Tear down shard executor processes and worker
                     # pools before the next config spins its own.

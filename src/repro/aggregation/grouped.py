@@ -478,6 +478,32 @@ def add_pairs_multi(tables: list, group_ids: np.ndarray,
     entirely.  Returns ``False`` (with nothing mutated) when any
     precondition fails; the caller then takes the sorted path.
 
+    The exactness window ``n <= 2**(54-w)`` holds for binary32 ladders
+    with the *same* bound as binary64, because neither side of the
+    argument depends on the value format's significand width:
+
+    * the quantum bound is format-independent — the no-demote
+      precondition gives ``eb + m - w + 2 <= e0`` per column, so every
+      level quantum ``q = k * 2**(e_l - m)`` has
+      ``|k| <= 2**(eb + 1 - e0 + m) <= 2**(w-1)`` whether ``m`` is 52
+      or 23;
+    * the accumulator is format-independent — ``np.bincount`` converts
+      its weights to float64 before summing, and every binary32
+      quantum converts exactly (float32 ⊂ float64), so each partial
+      sum is an exact integer multiple of ``2**(e_l - m)`` with
+      integer part at most ``n * 2**(w-1) <= 2**53``, representable
+      and closed under addition in float64 in any order (the scale
+      ``2**(e_l - m)`` stays at or above ``2**(emin - m)``, far inside
+      float64's range for both formats).
+
+    The per-element arithmetic stays in the table dtype either way:
+    the anchors ``ldexp(dt(1.5), e_l)`` are exact in binary32 for
+    every in-range ``e_l >= emin`` (one significand bit), and the
+    quantum extraction writes through same-dtype scratch — so each
+    float32 quantum is bit-identical to the reference walk's, and
+    ``np.ldexp(sums, m - e_l)`` lifts the exact float64 bin sums to
+    whole int64 quanta exactly.
+
     ``checked=False`` skips the group-id range scan for callers that
     construct the ids themselves (the fused kernels); out-of-range ids
     are then undefined behavior exactly like any unchecked kernel.
@@ -506,7 +532,11 @@ def add_pairs_multi(tables: list, group_ids: np.ndarray,
     if n == 0:
         return True
     m, w, levels = first._m, first._w, first._L
-    if first._dtype.itemsize != 8 or w > 53 or n > 1 << (54 - w):
+    # binary64 and binary32 ladders share the n <= 2**(54-w) window:
+    # the quantum bound |k| <= 2**(w-1) and the float64 bincount
+    # accumulator are both independent of the value format (see the
+    # docstring); any other dtype declines to the reference walk.
+    if first._dtype.itemsize not in (4, 8) or w > 53 or n > 1 << (54 - w):
         return False
     emin_floor = first._emin + (levels - 1) * w
     e0s = []

@@ -27,7 +27,9 @@ from __future__ import annotations
 import time
 from multiprocessing.connection import wait as _connection_wait
 
+from ..engine.fused import _probe_fingerprint
 from ..engine.operators import PartialGroupTable
+from ..engine.physical import PhysProbe
 from ..engine.pipeline import PipelineStats
 from ..engine.vectorized import VectorizedGroupTable
 from ..errors import ReproError
@@ -57,7 +59,7 @@ def _placement(shard: int, nworkers: int) -> int:
     return shard % nworkers
 
 
-def _build_task(aggregate, scan, predicates, context):
+def _build_task(aggregate, scan, chain_ops, joins, context):
     sum_config = aggregate.specs[0].sum_config
     return {
         "group_exprs": tuple(aggregate.group_exprs),
@@ -68,11 +70,77 @@ def _build_task(aggregate, scan, predicates, context):
         "types": dict(scan.types),
         "column_map": dict(scan.column_map),
         "encode_keys": tuple(scan.encode_keys),
-        "predicates": tuple(predicates),
+        # Operator chain in order: ("filter", predicate AST) per
+        # filter, ("probe", join index) per hash-join probe — the
+        # worker rebuilds the chain (fused or interpreted) from this.
+        "chain_ops": tuple(chain_ops),
+        # Per-probe join descriptors (chain order); the build batches
+        # themselves travel separately as broadcast "build" messages
+        # keyed by each descriptor's token.
+        "joins": tuple(joins),
         "vectorized": bool(aggregate.vectorized),
         "fused": bool(aggregate.fused),
         "morsel_size": int(context.morsel_size),
     }
+
+
+def _build_plan_sig(chain):
+    """Structural identity of one build-side pipeline: table names,
+    scanned columns, predicates, and nested probe shapes.  Combined
+    with the content fingerprint (table versions) and the snapshot it
+    keys the broadcast-build cache on the workers."""
+    sig: list = [
+        getattr(chain.source.table, "name", None),
+        tuple(sorted(chain.source.column_map)),
+    ]
+    for op in chain.ops:
+        if isinstance(op, PhysProbe):
+            sig.append((
+                "probe", op.kind,
+                tuple(k.sql() for k in op.probe_keys),
+                tuple(k.sql() for k in op.build_keys),
+                _build_plan_sig(op.build),
+            ))
+        else:
+            sig.append(("filter", op.predicate.sql()))
+    return tuple(sig)
+
+
+def _plan_chain(query, context, timings, snapshot):
+    """Lower the query's operator chain for shipping: ``(chain_ops,
+    join_descs, build_frames)``.  Each probe's build side is
+    materialized here on the coordinator (it has the catalog) and
+    broadcast to the executors as a framed column payload."""
+    from ..engine.executor import _materialize_build
+
+    chain_ops: list = []
+    join_descs: list = []
+    build_frames: list = []  # (slot signature, token, frame) per probe
+    for op in query.pipeline.ops:
+        if isinstance(op, PhysProbe):
+            fingerprint = _probe_fingerprint(op)
+            plan_sig = _build_plan_sig(op.build)
+            token = ("join_build", plan_sig, fingerprint, snapshot)
+            batch = _materialize_build(op, context, timings, snapshot)
+            frame = frame_payload(
+                encode_payload({"version": 1, "columns": batch.columns})
+            )
+            join_descs.append({
+                "token": token,
+                "build_keys": tuple(op.build_keys),
+                "probe_keys": tuple(op.probe_keys),
+                "kind": op.kind,
+                "probe_is_left": bool(op.probe_is_left),
+                "build_side": op.build_side,
+                "rows": int(batch.nrows),
+                "types": dict(batch.types),
+                "fingerprint": fingerprint,
+            })
+            build_frames.append((("join_build", plan_sig), token, frame))
+            chain_ops.append(("probe", len(join_descs) - 1))
+        else:
+            chain_ops.append(("filter", op.predicate))
+    return chain_ops, join_descs, build_frames
 
 
 def run_sharded_grouped_pipeline(query, context, timings=None,
@@ -85,8 +153,10 @@ def run_sharded_grouped_pipeline(query, context, timings=None,
     table = scan.table
     nshards = aggregate.shards
     nworkers = max(1, min(aggregate.shard_workers or nshards, nshards))
-    predicates = [op.predicate for op in query.pipeline.ops]
-    task = _build_task(aggregate, scan, predicates, context)
+    chain_ops, join_descs, build_frames = _plan_chain(
+        query, context, timings, snapshot
+    )
+    task = _build_task(aggregate, scan, chain_ops, join_descs, context)
 
     source_columns = list(scan.column_map.values())
     if not source_columns and table.schema.names():
@@ -113,6 +183,16 @@ def run_sharded_grouped_pipeline(query, context, timings=None,
             expected = 0
             for worker_id, shards_for in sorted(assignment.items()):
                 conn = pool.conn(worker_id)
+                # Broadcast join build sides this worker does not
+                # already hold (cached per slot like shard replicas;
+                # build-table DML changes the token via the
+                # fingerprint, superseding the stale build).
+                for slot_sig, token, frame in build_frames:
+                    slot = (worker_id, slot_sig)
+                    if pool.shipped.get(slot) != token:
+                        conn.send(("build", slot_sig, token, frame))
+                        pool.shipped[slot] = token
+                        stats.exchange_bytes += len(frame)
                 for shard in shards_for:
                     token = (
                         table.name, nshards, version_key, cols_sig, shard,

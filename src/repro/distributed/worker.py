@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import time
 import traceback
+from collections import OrderedDict
 
 from ..engine.fused import FusedGroupTable, compile_fused
+from ..engine.join import HashJoin
 from ..engine.operators import (
     AggregateSpec,
     Batch,
@@ -32,8 +34,14 @@ from ..engine.operators import (
     SumConfig,
     factorize_object,
 )
-from ..engine.physical import PhysAggregate, PhysFilter, PhysPipeline, PhysScan
-from ..engine.pipeline import apply_where
+from ..engine.physical import (
+    PhysAggregate,
+    PhysFilter,
+    PhysPipeline,
+    PhysProbe,
+    PhysScan,
+)
+from ..engine.pipeline import ExecutionContext, apply_where
 from ..engine.vectorized import VectorizedGroupTable
 from ..storage.spill import (
     decode_payload,
@@ -47,12 +55,15 @@ __all__ = ["worker_main"]
 
 class _KernelHost:
     """The minimal kernel-cache surface :func:`compile_fused` needs —
-    one per worker process, so repeated tasks reuse compiled kernels."""
+    one per worker process, so repeated tasks reuse compiled kernels.
+    Mirrors the in-process context's LRU bound and counters."""
 
     def __init__(self):
-        self._kernel_cache: dict = {}
+        self._kernel_cache: OrderedDict = OrderedDict()
+        self.kernel_cache_size = ExecutionContext.DEFAULT_KERNEL_CACHE_SIZE
         self.kernel_cache_hits = 0
         self.kernel_cache_misses = 0
+        self.kernel_cache_evictions = 0
 
 
 #: Stand-in for the scan's table object: ``compile_fused`` only checks
@@ -70,9 +81,35 @@ def _compile_kernel(task, specs, host):
         predicate=None,
         encode_keys=tuple(task["encode_keys"]),
     )
-    chain = PhysPipeline(
-        scan, [PhysFilter(pred) for pred in task["predicates"]]
-    )
+    ops = []
+    for step in task["chain_ops"]:
+        if step[0] == "filter":
+            ops.append(PhysFilter(step[1]))
+        else:
+            # Probe stage: a replica-backed build pipeline carrying the
+            # coordinator's build schema and content fingerprint, so
+            # the worker-side kernel signature matches DML semantics
+            # (a new build version is a new cache entry).
+            desc = task["joins"][step[1]]
+            build_scan = PhysScan(
+                table=_REPLICA_TABLE,
+                binding="",
+                column_map={name: name for name in desc["types"]},
+                types=dict(desc["types"]),
+                predicate=None,
+                encode_keys=(),
+            )
+            ops.append(PhysProbe(
+                build=PhysPipeline(build_scan),
+                build_keys=tuple(desc["build_keys"]),
+                probe_keys=tuple(desc["probe_keys"]),
+                kind=desc["kind"],
+                probe_is_left=desc["probe_is_left"],
+                build_side=desc["build_side"],
+                est_build_rows=desc["rows"],
+                fingerprint=tuple(desc["fingerprint"]),
+            ))
+    chain = PhysPipeline(scan, ops)
     aggregate = PhysAggregate(tuple(task["group_exprs"]), specs, True)
     return compile_fused(chain, aggregate, host)
 
@@ -118,7 +155,39 @@ def _shard_morsels(task, replica):
     return morsels
 
 
-def _execute_task(task, replica, host):
+def _local_joins(task, builds):
+    """Construct (or fetch) one :class:`HashJoin` per shipped join
+    descriptor, in chain order.  The hash table is cached on the
+    broadcast build entry — keyed by the keys/kind it was built for —
+    so repeated tasks over the same build pay the build cost once."""
+    joins = []
+    for desc in task["joins"]:
+        entry = builds.get(desc["token"])
+        if entry is None:
+            raise KeyError(
+                f"join build {desc['token']!r} was never shipped"
+            )
+        cache_key = (
+            tuple(k.sql() for k in desc["build_keys"]),
+            tuple(k.sql() for k in desc["probe_keys"]),
+            desc["kind"], desc["probe_is_left"],
+        )
+        join = entry["joins"].get(cache_key)
+        if join is None:
+            build_batch = Batch(
+                dict(entry["columns"]), dict(desc["types"])
+            )
+            join = HashJoin(
+                build_batch, tuple(desc["build_keys"]),
+                tuple(desc["probe_keys"]), desc["kind"],
+                desc["probe_is_left"],
+            )
+            entry["joins"][cache_key] = join
+        joins.append(join)
+    return joins
+
+
+def _execute_task(task, replica, host, builds):
     """Run one shard-local partial aggregation; returns the table."""
     sum_config = SumConfig(
         task["sum_mode"], task["sum_levels"], task["sum_buffer"]
@@ -126,20 +195,27 @@ def _execute_task(task, replica, host):
     specs = [AggregateSpec(call, sum_config) for call in task["agg_calls"]]
     group_exprs = tuple(task["group_exprs"])
     morsels = _shard_morsels(task, replica)
+    joins = _local_joins(task, builds)
     kernel = None
     if task["fused"] and task["vectorized"]:
         kernel = _compile_kernel(task, specs, host)
-    if kernel is not None:
-        table = FusedGroupTable(group_exprs, specs, kernel)
+    if kernel is not None and kernel.njoins == len(joins):
+        table = FusedGroupTable(group_exprs, specs, kernel, joins)
         for batch in morsels:
             table.update(batch)
         return table, len(morsels)
+    # Interpreted fallback: walk the shipped chain in order (filters
+    # via apply_where, probes via the interpreted HashJoin.probe) —
+    # bit-identical to the fused kernel by construction.
     make_table = VectorizedGroupTable if task["vectorized"] else PartialGroupTable
     table = make_table(group_exprs, specs)
-    predicates = task["predicates"]
+    chain_ops = task["chain_ops"]
     for batch in morsels:
-        for predicate in predicates:
-            batch = apply_where(batch, predicate)
+        for step in chain_ops:
+            if step[0] == "filter":
+                batch = apply_where(batch, step[1])
+            else:
+                batch = joins[step[1]].probe(batch)
         table.update(batch)
     return table, len(morsels)
 
@@ -149,6 +225,8 @@ def worker_main(conn) -> None:
     over one pipe until told to stop (or the pipe closes)."""
     replicas: dict = {}   # token -> {columns, encodings caches}
     by_slot: dict = {}    # replica slot -> its current token
+    builds: dict = {}     # broadcast-build token -> {columns, joins}
+    build_by_slot: dict = {}  # build slot -> its current token
     host = _KernelHost()
     while True:
         try:
@@ -174,6 +252,20 @@ def worker_main(conn) -> None:
                 replicas[token] = {
                     "columns": payload["columns"], "encodings": {},
                 }
+            elif kind == "build":
+                _, slot, token, frame = message
+                payload = decode_payload(
+                    unframe_payload(frame, context="join build")
+                )
+                # A newer build (DML on a build-side table, or a new
+                # snapshot) supersedes the old broadcast in this slot.
+                old = build_by_slot.get(slot)
+                if old is not None and old != token:
+                    builds.pop(old, None)
+                build_by_slot[slot] = token
+                builds[token] = {
+                    "columns": payload["columns"], "joins": {},
+                }
             elif kind == "run":
                 _, shard_id, token, task = message
                 replica = replicas.get(token)
@@ -182,7 +274,7 @@ def worker_main(conn) -> None:
                         f"shard replica {token!r} was never shipped"
                     )
                 busy_started = time.thread_time()
-                table, nmorsels = _execute_task(task, replica, host)
+                table, nmorsels = _execute_task(task, replica, host, builds)
                 busy = time.thread_time() - busy_started
                 frame = frame_payload(dump_table(table))
                 conn.send(

@@ -42,6 +42,12 @@ class Catalog:
         #: orders DDL against checkpoint capture; never held while
         #: taking a table's statement lock
         self._ddl_lock = threading.Lock()
+        #: monotone count of catalog shape changes (table/view create,
+        #: attach, drop).  Plan caches key on it: row content is pinned
+        #: by a read snapshot, but schema identity is not — a DROP +
+        #: re-CREATE under the same name must not serve a plan bound to
+        #: the old table object.
+        self.ddl_epoch = 0
 
     def attach_storage(self, storage) -> None:
         """Wire this catalog — and everything already in it — to a
@@ -68,6 +74,7 @@ class Catalog:
                 resolved.append((col_name, sql_type))
             table = Table(low, Schema(resolved), clock=self.clock)
             self._tables[low] = table
+            self.ddl_epoch += 1
             if self.storage is not None:
                 table.attach_storage(self.storage)
                 self.storage.log_create_table(table)
@@ -83,6 +90,7 @@ class Catalog:
                 )
             table.attach_clock(self.clock)
             self._tables[table.name] = table
+            self.ddl_epoch += 1
             if self.storage is not None:
                 # The table's rows were born outside the WAL's sight —
                 # log its full physical state, then start tracking.
@@ -109,6 +117,7 @@ class Catalog:
                         + ", ".join(sorted(dependents))
                     )
                 del self._tables[low]
+                self.ddl_epoch += 1
                 if self.storage is not None:
                     self.storage.log_drop_table(low)
                 return True
@@ -132,6 +141,7 @@ class Catalog:
             if view.name in self._tables:
                 raise CatalogError(f"{view.name!r} names a table")
             self._views[view.name] = view
+            self.ddl_epoch += 1
             if self.storage is not None:
                 view._storage = self.storage
                 self.storage.log_create_view(view)
@@ -147,6 +157,7 @@ class Catalog:
         with self._ddl_lock:
             if low in self._views:
                 del self._views[low]
+                self.ddl_epoch += 1
                 if self.storage is not None:
                     self.storage.log_drop_view(low)
                 return True

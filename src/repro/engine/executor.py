@@ -25,7 +25,7 @@ import numpy as np
 
 from .expr import ExprError, evaluate
 from .join import HashJoin
-from .operators import Batch, OperatorTimings, SumConfig
+from .operators import Batch, OperatorTimings, SumConfig, _object_sort_rank
 from .optimizer import optimize
 from .physical import (
     PhysFilter,
@@ -138,6 +138,27 @@ def explain_select(stmt: ast.Select, get_table, sum_config: SumConfig,
         + "\n\n== physical plan ==\n"
         + render_physical(physical)
     )
+
+
+def plan_select(stmt: ast.Select, get_table, sum_config: SumConfig,
+                context: ExecutionContext, views=None, snapshot=None):
+    """Plan one SELECT and return the physical query, for callers that
+    cache plans across executions (the session's plan cache).  The
+    plan is a pure function of the statement, the catalog state pinned
+    by ``snapshot``, and the context's knobs — re-running it via
+    :func:`run_planned` under the same snapshot replays the original
+    execution bit-identically."""
+    _, physical = _plan(
+        stmt, get_table, sum_config, context, views, snapshot
+    )
+    return physical
+
+
+def run_planned(physical, context: ExecutionContext,
+                timings: OperatorTimings | None = None,
+                snapshot=None) -> QueryResult:
+    """Execute an already-planned physical query (plan-cache hits)."""
+    return _run_physical(physical, context, timings, snapshot)
 
 
 def execute_select(
@@ -269,11 +290,12 @@ def _instantiate(chain: PhysPipeline, context: ExecutionContext,
     return morsels, transform
 
 
-def _build_join(op: PhysProbe, context: ExecutionContext,
-                timings: OperatorTimings | None,
-                snapshot=None) -> HashJoin:
-    """Materialize the build side (a pipeline breaker) serially and
-    construct the hash table."""
+def _materialize_build(op: PhysProbe, context: ExecutionContext,
+                       timings: OperatorTimings | None,
+                       snapshot=None) -> Batch:
+    """Materialize one probe's build side (a pipeline breaker) into a
+    single batch.  Shared by the in-process join build and the sharded
+    coordinator, which broadcasts the batch to shard executors."""
     build_morsels, build_transform = _instantiate(
         op.build, context, timings, snapshot
     )
@@ -283,12 +305,88 @@ def _build_join(op: PhysProbe, context: ExecutionContext,
         if build_transform is not None:
             batch = build_transform(batch)
         built.append(batch)
+    result = _concat_batches(built)
+    if timings is not None:
+        timings.add("join_build", time.perf_counter() - started)
+    return result
+
+
+def _join_chain_sig(chain) -> tuple:
+    """Structural identity of a build pipeline: scan shape (table,
+    binding, projection, pushed filter, encodings) plus the op chain,
+    recursing through nested probes.  Two plans with equal signatures
+    materialize byte-identical build sides *for the same table
+    content*; content identity is pinned separately by the build
+    fingerprint (table versions) and the read snapshot."""
+    scan = chain.source
+    sig: list[tuple] = [(
+        "scan",
+        getattr(scan.table, "name", None),
+        scan.binding,
+        tuple(scan.column_map.items()),
+        None if scan.predicate is None else scan.predicate.sql(),
+        tuple(scan.encode_keys),
+    )]
+    for op in chain.ops:
+        if isinstance(op, PhysProbe):
+            sig.append((
+                "probe", op.kind, op.probe_is_left,
+                tuple(k.sql() for k in op.probe_keys),
+                tuple(k.sql() for k in op.build_keys),
+                _join_chain_sig(op.build),
+            ))
+        else:
+            sig.append(("filter", op.predicate.sql()))
+    return tuple(sig)
+
+
+def _build_join(op: PhysProbe, context: ExecutionContext,
+                timings: OperatorTimings | None,
+                snapshot=None) -> HashJoin:
+    """Materialize the build side and construct the hash table.
+
+    Builds are pipeline breakers whose cost is pure fixed overhead on
+    repeated queries, so finished :class:`HashJoin` objects are kept in
+    a small per-context LRU.  Caching requires a read snapshot: the
+    cache key combines the build chain's structural signature, the
+    build-content fingerprint (every build table's version watermark),
+    and the snapshot, so DML or a newer snapshot can never be served a
+    stale build.  Snapshot-less executions (internal replays, shard
+    workers) always rebuild.
+    """
+    key = None
+    if snapshot is not None:
+        from .fused import _probe_fingerprint
+
+        started = time.perf_counter()
+        key = (
+            _join_chain_sig(op.build),
+            op.kind, op.probe_is_left,
+            tuple(k.sql() for k in op.probe_keys),
+            tuple(k.sql() for k in op.build_keys),
+            _probe_fingerprint(op),
+            snapshot,
+        )
+        cached = context._join_cache.get(key)
+        if cached is not None:
+            context._join_cache.move_to_end(key)
+            context.join_cache_hits += 1
+            if timings is not None:
+                timings.add("join_build", time.perf_counter() - started)
+            return cached
+        context.join_cache_misses += 1
+    build_batch = _materialize_build(op, context, timings, snapshot)
+    started = time.perf_counter()
     join = HashJoin(
-        _concat_batches(built), op.build_keys, op.probe_keys,
+        build_batch, op.build_keys, op.probe_keys,
         op.kind, op.probe_is_left,
     )
     if timings is not None:
         timings.add("join_build", time.perf_counter() - started)
+    if key is not None:
+        context._join_cache[key] = join
+        while len(context._join_cache) > context.DEFAULT_JOIN_CACHE_SIZE:
+            context._join_cache.popitem(last=False)
     return join
 
 
@@ -332,12 +430,12 @@ def _run_physical(query: PhysicalQuery, context: ExecutionContext,
         }
         names, arrays = _finish_grouped(query, key_arrays, agg_env, ngroups)
     else:
-        morsels, transform = _instantiate(
-            query.pipeline, context, timings, snapshot
-        )
         if query.aggregate is not None:
+            morsels, transform, joins = _instantiate_grouped(
+                query, context, timings, snapshot
+            )
             key_arrays, results, ngroups = _grouped_arrays(
-                query, morsels, transform, context, timings
+                query, morsels, transform, context, timings, joins
             )
             agg_env = {
                 spec.sql: arr
@@ -347,6 +445,9 @@ def _run_physical(query: PhysicalQuery, context: ExecutionContext,
                 query, key_arrays, agg_env, ngroups
             )
         else:
+            morsels, transform = _instantiate(
+                query.pipeline, context, timings, snapshot
+            )
             names, arrays = run_projection_pipeline(
                 query.items, morsels, None, context, timings,
                 transform=transform,
@@ -395,18 +496,47 @@ def _order_key(order_item: ast.OrderItem, items, env: dict):
     if order_item.descending:
         if arr.dtype.kind in "fiu":
             return -arr.astype(np.float64)
-        # Lexicographic descending for strings: invert rank.
-        uniq, inverse = np.unique(arr, return_inverse=True)
-        return -inverse
+        # Lexicographic descending for strings: invert rank.  The rank
+        # orders NULL before every real value (np.unique cannot sort
+        # ``None`` against strings).
+        return -_object_sort_rank(arr)
     if arr.dtype.kind == "O":
-        _, inverse = np.unique(arr, return_inverse=True)
-        return inverse
+        return _object_sort_rank(arr)
     return arr
+
+
+def _instantiate_grouped(query: PhysicalQuery, context: ExecutionContext,
+                         timings: OperatorTimings | None, snapshot=None):
+    """``(morsels, transform, joins)`` for one aggregate query.
+
+    A fused plan's kernel subsumes the whole per-morsel operator chain,
+    so only the scan morsels are materialized plus one built
+    :class:`HashJoin` per fused probe (in chain order) for the kernel's
+    runtime join parameters; everything else gets the interpreted
+    transform as before.
+    """
+    aggregate = query.aggregate
+    if aggregate is not None and aggregate.fused:
+        started = time.perf_counter()
+        morsels = _scan_morsels(
+            query.pipeline.source, context.morsel_size, snapshot
+        )
+        if timings is not None:
+            timings.add("scan", time.perf_counter() - started)
+        joins = [
+            _build_join(op, context, timings, snapshot)
+            for op in query.pipeline.ops
+            if isinstance(op, PhysProbe)
+        ]
+        return morsels, None, joins
+    morsels, transform = _instantiate(query.pipeline, context, timings,
+                                      snapshot)
+    return morsels, transform, None
 
 
 def _grouped_arrays(query: PhysicalQuery, morsels: list[Batch], transform,
                     context: ExecutionContext,
-                    timings: OperatorTimings | None):
+                    timings: OperatorTimings | None, joins=None):
     """Run the aggregate sink: ``(key_arrays, result_arrays, ngroups)``."""
     aggregate = query.aggregate
     specs = aggregate.specs
@@ -422,10 +552,12 @@ def _grouped_arrays(query: PhysicalQuery, morsels: list[Batch], transform,
         )
     if aggregate.fused:
         # The generated kernel subsumes the whole per-morsel operator
-        # chain (filters included), so no transform is passed.
+        # chain (filters and probes included), so no transform is
+        # passed; the built joins ride along as kernel parameters.
         return run_grouped_pipeline(
             aggregate.group_exprs, specs, morsels, None, context, timings,
             vectorized=aggregate.vectorized, kernel=aggregate.kernel,
+            joins=joins,
         )
     return run_grouped_pipeline(
         aggregate.group_exprs, specs, morsels, None, context, timings,
@@ -445,9 +577,9 @@ def compute_grouped_arrays(query: PhysicalQuery, context: ExecutionContext,
     scan at a row-version watermark so a replayed REFRESH aggregates
     exactly the rows the original one saw.
     """
-    morsels, transform = _instantiate(query.pipeline, context, timings,
-                                      snapshot)
-    return _grouped_arrays(query, morsels, transform, context, timings)
+    morsels, transform, joins = _instantiate_grouped(query, context, timings,
+                                                     snapshot)
+    return _grouped_arrays(query, morsels, transform, context, timings, joins)
 
 
 def _finish_grouped(query: PhysicalQuery, key_arrays, agg_env: dict,

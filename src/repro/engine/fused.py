@@ -70,22 +70,35 @@ __all__ = ["FusedKernel", "FusedGroupTable", "compile_fused"]
 
 class _NoFuse(Exception):
     """Raised by the emitter when a plan shape is not fuseable; the
-    caller falls back to the interpreted vectorized path."""
+    caller falls back to the interpreted vectorized path.  ``reason``
+    is a short machine-readable decline code surfaced in EXPLAIN."""
+
+    def __init__(self, message: str = "", reason: str = "unsupported_expr"):
+        super().__init__(message or reason)
+        self.reason = reason
 
 
 class FusedKernel:
     """One compiled per-morsel kernel plus its provenance."""
 
-    def __init__(self, signature, source: str, fn, nfilters: int):
+    def __init__(self, signature, source: str, fn, nfilters: int,
+                 njoins: int = 0):
         self.signature = signature
         #: generated Python source (tests and EXPLAIN debugging)
         self.source = source
         #: ``fn(batch, table)`` — consume one morsel into ``table``
         self.fn = fn
         self.nfilters = nfilters
+        #: hash-join probes fused into the kernel; the executing
+        #: :class:`FusedGroupTable` must carry one built
+        #: :class:`~repro.engine.join.HashJoin` per probe, in chain
+        #: order.
+        self.njoins = njoins
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"FusedKernel(nfilters={self.nfilters})"
+        return (
+            f"FusedKernel(nfilters={self.nfilters}, njoins={self.njoins})"
+        )
 
 
 class FusedGroupTable(VectorizedGroupTable):
@@ -94,11 +107,24 @@ class FusedGroupTable(VectorizedGroupTable):
     Key registration, merge, and canonical finalize are inherited
     unchanged, which is what pins the fused path's bits to the
     interpreted engines: only per-morsel *dispatch* differs.
+
+    ``joins`` holds the built :class:`~repro.engine.join.HashJoin`
+    objects for kernels that fuse probe stages (one per probe, in
+    chain order): the kernel code is compiled at *plan* time and
+    cached across queries, while hash tables are built at *execution*
+    time, so the joins ride the table as runtime parameters rather
+    than being baked into the generated source.
     """
 
-    def __init__(self, group_exprs, specs, kernel: FusedKernel):
+    def __init__(self, group_exprs, specs, kernel: FusedKernel, joins=()):
         super().__init__(group_exprs, specs)
         self._fused_kernel = kernel
+        self._joins = list(joins or ())
+        if len(self._joins) != kernel.njoins:
+            raise ValueError(
+                f"kernel fuses {kernel.njoins} join probe(s) but "
+                f"{len(self._joins)} built join(s) were supplied"
+            )
 
     def update(self, batch: Batch) -> None:
         self._fused_kernel.fn(batch, self)
@@ -114,6 +140,15 @@ def _scalar_fallback(table, batch: Batch, sel):
     if sel is not None:
         batch = batch.filter(sel)
     return PartialGroupTable._factorize(table, batch)
+
+
+def _joined_fallback(table, columns: dict, types: dict):
+    """Radix-overflow escape hatch for join kernels.  There is no
+    input batch to re-filter — the surviving rows only exist as the
+    kernel's post-probe gathered arrays — so those columns are wrapped
+    into a batch and re-enter key registration through the scalar
+    path, exactly like the interpreted join pipeline would."""
+    return PartialGroupTable._factorize(table, Batch(columns, types))
 
 
 def _minmax_update(state, values, gids, morsel, ngroups: int) -> None:
@@ -211,7 +246,12 @@ class _Emitter:
     so its value is morsel-independent and becomes a kernel constant.
     """
 
-    def __init__(self, scan):
+    def __init__(self, types, scan=None):
+        #: combined name -> SqlType schema the kernel sees.  For plain
+        #: scan chains this is the scan schema; for join chains it is
+        #: the union of the probe-side scan schema and every build-side
+        #: schema (collision-checked by :func:`_pipeline_types`).
+        self.types = dict(types)
         self.scan = scan
         self.lines: list[str] = []
         self.consts: dict = {}        # (type name, repr) -> const name
@@ -223,7 +263,7 @@ class _Emitter:
         self._probe_memo: dict[str, object] = {}
         self._probe_cols = {
             name: np.empty(0, sql_type.numpy_dtype)
-            for name, sql_type in scan.types.items()
+            for name, sql_type in self.types.items()
         }
         self._col_vars: dict[str, str] = {}
 
@@ -260,7 +300,7 @@ class _Emitter:
         key = expr.sql()
         if key not in self._probe_memo:
             self._probe_memo[key] = evaluate(
-                expr, self._probe_cols, self.scan.types
+                expr, self._probe_cols, self.types
             )
         return self._probe_memo[key]
 
@@ -275,7 +315,7 @@ class _Emitter:
 
     def load_columns(self, names) -> None:
         for name in sorted(names):
-            if name not in self.scan.types:
+            if name not in self.types:
                 raise _NoFuse(f"column {name!r} not in scan schema")
             var = self.fresh("_c")
             self._col_vars[name] = var
@@ -312,7 +352,7 @@ class _Emitter:
         if isinstance(expr, ast.ColumnRef):
             name = expr.name.lower()
             var = self.column_var(name)
-            sql_type = self.scan.types.get(name)
+            sql_type = self.types.get(name)
             if isinstance(sql_type, DecimalSqlType):
                 scale = self.const(10.0 ** sql_type.scale)
                 return self._assign(f"{var}.astype(np.float64) / {scale}")
@@ -370,11 +410,79 @@ class _Emitter:
         return token
 
 
-def _plan_signature(scan, predicates, aggregate):
-    """Everything the generated code is specialized on."""
+def _pipeline_types(chain) -> dict:
+    """Combined ``name -> SqlType`` schema of one morsel chain: the
+    probe-side scan schema plus every build-side schema, recursively.
+    A name collision between sides means the generated kernel could
+    not tell the two columns apart, so the plan declines."""
+    from .physical import PhysProbe
+
+    types = dict(chain.source.types)
+    for op in chain.ops:
+        if isinstance(op, PhysProbe):
+            for name, sql_type in _pipeline_types(op.build).items():
+                if name in types:
+                    raise _NoFuse(
+                        f"column {name!r} bound on both join sides",
+                        reason="join_schema_overlap",
+                    )
+                types[name] = sql_type
+    return types
+
+
+def _probe_fingerprint(op) -> tuple:
+    """Identity of one probe's build *content*: ``(table name, row
+    version)`` for every scan in the build tree.  DML on any build
+    table bumps its version watermark, changing the plan signature and
+    forcing a recompile-or-new-cache-slot instead of reusing a kernel
+    whose cached decline/accept decision was made against stale
+    schema.  Distributed workers plan against replica scans that have
+    no catalog table, so a shipped ``op.fingerprint`` wins when set."""
+    from .physical import PhysProbe
+
+    shipped = getattr(op, "fingerprint", None)
+    if shipped is not None:
+        return tuple(shipped)
+    parts: list = []
+
+    def walk(chain):
+        table = chain.source.table
+        parts.append((
+            getattr(table, "name", None),
+            getattr(table, "version", None),
+        ))
+        for o in chain.ops:
+            if isinstance(o, PhysProbe):
+                walk(o.build)
+
+    walk(op.build)
+    return tuple(parts)
+
+
+def _plan_signature(chain, aggregate, types):
+    """Everything the generated code is specialized on.  The operator
+    descriptor keeps chain order — ``("filter", sql)`` per predicate,
+    ``("probe", kind, probe keys, build keys, fingerprint)`` per
+    hash-join probe — so filter/probe interleavings compile distinct
+    kernels and build-side DML invalidates cached entries."""
+    from .physical import PhysProbe
+
     columns: set[str] = set()
-    for predicate in predicates:
-        columns |= expression_columns(predicate)
+    ops_sig: list[tuple] = []
+    for op in chain.ops:
+        if isinstance(op, PhysProbe):
+            for expr in op.probe_keys:
+                columns |= expression_columns(expr)
+            ops_sig.append((
+                "probe",
+                op.kind,
+                tuple(k.sql() for k in op.probe_keys),
+                tuple(k.sql() for k in op.build_keys),
+                _probe_fingerprint(op),
+            ))
+        else:
+            columns |= expression_columns(op.predicate)
+            ops_sig.append(("filter", op.predicate.sql()))
     for expr in aggregate.group_exprs:
         columns |= expression_columns(expr)
     for spec in aggregate.specs:
@@ -383,19 +491,19 @@ def _plan_signature(scan, predicates, aggregate):
                 columns |= expression_columns(arg)
     schema = []
     for name in sorted(columns):
-        sql_type = scan.types.get(name)
+        sql_type = types.get(name)
         if sql_type is None:
             raise _NoFuse(f"column {name!r} not in scan schema")
         schema.append((name, sql_type.name))
     return (
         tuple(schema),
-        tuple(predicate.sql() for predicate in predicates),
+        tuple(ops_sig),
         tuple(expr.sql() for expr in aggregate.group_exprs),
         tuple(
             (spec.sql, spec.call.name, spec.sum_config.mode, spec.levels)
             for spec in aggregate.specs
         ),
-        tuple(scan.encode_keys),
+        tuple(chain.source.encode_keys),
     ), columns
 
 
@@ -444,6 +552,133 @@ def _emit_group_ids(em: _Emitter, aggregate, have_filters: bool) -> None:
     em.emit(
         "_gids = table._gids_from_parts(_parts, _ae, "
         f"lambda: _FB(table, batch, {fallback_sel}))"
+    )
+
+
+def _rows_group_plan(ops, origins, aggregate, em: _Emitter):
+    """Build-row group-id plan: ``(p, specs, dtypes)`` when every group
+    key is a function of probe ``p``'s build row, else ``None``.
+
+    Two group-key shapes qualify.  A build-side column of probe ``p``
+    is ``build_batch.columns[name][bt]`` by construction.  A probe key
+    expression of probe ``p`` over *integer* key space equals the
+    matched build key exactly (integer-space matching is exact-value),
+    so ``build_key_values[i][bt]`` reproduces it.  Float probe keys
+    stay on the generic path: the interpreted pipeline registers the
+    *probe* value while the build row holds the *build* value, and
+    ``-0.0``/``NaN`` keys make those distinct bit patterns.
+
+    When a plan exists, the kernel skips gathering the group-key
+    columns entirely and hands the gathered build-row indices to
+    :meth:`VectorizedGroupTable._gids_from_rows`, whose persistent
+    code -> gid table registers each key once per query instead of
+    re-uniquing every morsel.  Only single-probe plans are attempted:
+    one probe's row index always fits int64, while a multi-probe radix
+    composite would need an overflow guard for no workload we have.
+    """
+    if not aggregate.group_exprs:
+        return None
+    from .physical import PhysProbe
+
+    probes = [op for op in ops if isinstance(op, PhysProbe)]
+    for p, op in enumerate(probes):
+        specs: list | None = []
+        dtypes = []
+        try:
+            for expr in aggregate.group_exprs:
+                dtype = np.asarray(em.probe(expr)).dtype
+                name = expr.name.lower() \
+                    if isinstance(expr, ast.ColumnRef) else None
+                if name is not None and origins.get(name) == p:
+                    sql_type = em.types.get(name)
+                    scale = (
+                        10.0 ** sql_type.scale
+                        if isinstance(sql_type, DecimalSqlType) else None
+                    )
+                    specs.append(("col", p, name, dtype, scale))
+                else:
+                    for i, key_expr in enumerate(op.probe_keys):
+                        if key_expr.sql() == expr.sql():
+                            break
+                    else:
+                        specs = None
+                        break
+                    build_dtype = np.asarray(
+                        em.probe(op.build_keys[i])
+                    ).dtype
+                    if dtype.kind not in "iub" \
+                            or build_dtype.kind not in "iub":
+                        specs = None
+                        break
+                    specs.append(("key", p, i, dtype, None))
+                dtypes.append(dtype)
+        except Exception:
+            # A group expression the probe machinery cannot evaluate:
+            # let the generic path surface (or decline) it.
+            return None
+        if specs is not None:
+            return p, tuple(specs), tuple(dtypes)
+    return None
+
+
+def _make_rows_decoder(specs):
+    """Bind a build-row key decoder for :func:`_rows_group_plan` specs:
+    ``bind(joins)`` -> ``decode(rows)`` -> per-group-expr value columns
+    gathered straight from the build batch (or the evaluated build-key
+    arrays), with the same decimal rescale / dtype the interpreted
+    expression evaluator would have produced."""
+    def bind(joins):
+        def decode(rows):
+            columns = []
+            for kind, p, key, dtype, scale in specs:
+                join = joins[p]
+                if kind == "col":
+                    arr = np.asarray(join.build_batch.columns[key])[rows]
+                else:
+                    arr = np.asarray(join.build_key_values[key])[rows]
+                if scale is not None:
+                    arr = arr.astype(np.float64) / scale
+                elif arr.dtype != dtype:
+                    arr = arr.astype(dtype)
+                columns.append(arr)
+            return columns
+        return decode
+    return bind
+
+
+def _emit_group_ids_rows(em: _Emitter, plan, bt_var: str) -> None:
+    """Group-id emission for a qualifying build-row plan: the gathered
+    build-row indices *are* the composite key codes."""
+    p, _specs, _dtypes = plan
+    em.emit(
+        f"_gids = table._gids_from_rows({bt_var}, "
+        f"max(_J{p}.build_rows, 1), _RDT, _RDEC(_joins))"
+    )
+
+
+def _emit_group_ids_joined(em: _Emitter, aggregate, stage2_columns) -> None:
+    """Group-id emission after one or more fused probes.  The rows no
+    longer correspond to input-batch positions, so dictionary
+    encodings cannot be consulted (their codes index the pre-probe
+    batch) and the radix fallback re-wraps the gathered survivor
+    columns instead of re-filtering the batch.  Skipping the encoding
+    fast path is bit-safe: group-id *numbering* within a morsel never
+    reaches the results — rows keep their relative order through the
+    stable sorted morsel and finalize orders groups by canonical key
+    values, which are identical either way."""
+    if not aggregate.group_exprs:
+        em.emit("_gids = np.zeros(_n, dtype=np.int64)")
+        return
+    em.emit("_parts = []")
+    for j, expr in enumerate(aggregate.group_exprs):
+        em.emit(f"_gc{j}, _gu{j} = _ENC({em.values_tok(expr)})")
+        em.emit(f"_parts.append((_gc{j}, _gu{j}, max(len(_gu{j}), 1)))")
+    cols = ", ".join(
+        f"{name!r}: {em.column_var(name)}" for name in sorted(stage2_columns)
+    )
+    em.emit(
+        "_gids = table._gids_from_parts(_parts, False, "
+        f"lambda: _FBJ(table, {{{cols}}}, _TYPES))"
     )
 
 
@@ -537,7 +772,7 @@ def _sum_kind(em: _Emitter, arg: ast.Expr):
     """Mirror `_VecSumState._values_cached` at compile time: returns
     (kind, decimal scale, values token, values dtype)."""
     if isinstance(arg, ast.ColumnRef):
-        sql_type = em.scan.types.get(arg.name.lower())
+        sql_type = em.types.get(arg.name.lower())
         if isinstance(sql_type, DecimalSqlType):
             # Exact integer path over the raw unscaled storage column.
             return ("decimal", sql_type.scale,
@@ -561,31 +796,22 @@ def _float_factory(dtype, mode: str, levels: int):
     return make
 
 
-def _generate(scan, predicates, aggregate, signature,
-              columns) -> FusedKernel:
-    em = _Emitter(scan)
-    em.emit("_cols = batch.columns")
-    em.emit("_n = batch.nrows")
-
-    stage2_columns = set()
+def _stage2_columns(aggregate) -> set:
+    """Columns the aggregation stage consumes (group keys + agg args)."""
+    stage2 = set()
     for expr in aggregate.group_exprs:
-        stage2_columns |= expression_columns(expr)
+        stage2 |= expression_columns(expr)
     for spec in aggregate.specs:
         for arg in spec.call.args:
             if not isinstance(arg, ast.Star):
-                stage2_columns |= expression_columns(arg)
+                stage2 |= expression_columns(arg)
+    return stage2
 
-    em.load_columns(columns)
-    have_filters = bool(predicates)
-    if have_filters:
-        _emit_filters(em, predicates)
-        em.slice_columns(stage2_columns)
-        em.emit("_n = int(np.count_nonzero(_sel))")
-        em.reset_stage()
-    else:
-        em.emit("_sel = None")
 
-    _emit_group_ids(em, aggregate, have_filters)
+def _finish_kernel(em: _Emitter, aggregate, signature, nfilters: int,
+                   njoins: int, extra_namespace=None) -> FusedKernel:
+    """Shared tail of both generators: aggregate-state emission, the
+    morsel splice, and source assembly/compilation."""
     em.emit("_ngroups = table.ngroups")
     # The morsel flavor depends on what the states consume, so emit
     # them first and splice the morsel construction in above them.
@@ -600,57 +826,318 @@ def _generate(scan, predicates, aggregate, signature,
         "np": np,
         "_ENC": VectorizedGroupTable._encode_values,
         "_FB": _scalar_fallback,
+        "_FBJ": _joined_fallback,
         "_SM": SortedMorsel,
         "_CM": ClusteredMorsel,
         "_UF": _update_float_sum,
         "_MM": _minmax_update,
         "_LM": _ladder_multi,
     }
+    if extra_namespace:
+        namespace.update(extra_namespace)
     namespace.update(em.const_values)
     namespace.update(em.factories)
     exec(compile(source, "<fused-kernel>", "exec"), namespace)
     return FusedKernel(signature, source, namespace["_fused_kernel"],
-                       len(predicates))
+                       nfilters, njoins)
+
+
+def _generate_simple(scan, predicates, aggregate, signature,
+                     columns) -> FusedKernel:
+    """Scan -> filter* -> aggregate: the single-table kernel shape."""
+    em = _Emitter(scan.types, scan)
+    em.emit("_cols = batch.columns")
+    em.emit("_n = batch.nrows")
+
+    stage2_columns = _stage2_columns(aggregate)
+
+    em.load_columns(columns)
+    have_filters = bool(predicates)
+    if have_filters:
+        _emit_filters(em, predicates)
+        em.slice_columns(stage2_columns)
+        em.emit("_n = int(np.count_nonzero(_sel))")
+        em.reset_stage()
+    else:
+        em.emit("_sel = None")
+
+    _emit_group_ids(em, aggregate, have_filters)
+    return _finish_kernel(em, aggregate, signature, len(predicates), 0)
+
+
+def _generate_joined(chain, aggregate, signature, types) -> FusedKernel:
+    """Scan -> (filter | probe)* -> aggregate: the join kernel shape.
+
+    Each probe stage encodes the current rows' probe keys with the
+    built join's composite-code/value-LUT encoder, expands the inner
+    matches to ``(probe_take, build_take)`` gather indices, gathers
+    the *live* probe-side arrays through ``probe_take`` and only the
+    build columns still needed downstream through ``build_take``, and
+    continues — no intermediate joined batch is ever materialized.
+    Liveness comes from a reverse ``needed-after`` sweep over the
+    chain, so a column dropped by the final aggregate is never
+    gathered through any probe."""
+    from .physical import PhysFilter, PhysProbe
+
+    scan = chain.source
+    ops = list(chain.ops)
+    em = _Emitter(types, scan)
+    em.emit("_cols = batch.columns")
+    em.emit("_n = batch.nrows")
+    em.emit("_joins = table._joins")
+
+    stage2_columns = _stage2_columns(aggregate)
+
+    # Which probe introduces each column (-1 = probe-side scan).
+    origins = {name: -1 for name in scan.types}
+    probe_no = 0
+    for op in ops:
+        if isinstance(op, PhysProbe):
+            for name in _pipeline_types(op.build):
+                origins[name] = probe_no
+            probe_no += 1
+
+    rows_plan = _rows_group_plan(ops, origins, aggregate, em)
+    if rows_plan is not None:
+        # The build-row indices stand in for every group key, so the
+        # aggregation stage only reads the aggregate arguments — the
+        # group-key columns drop out of liveness and are never
+        # gathered through any probe.
+        stage2_columns = set()
+        for spec in aggregate.specs:
+            for arg in spec.call.args:
+                if not isinstance(arg, ast.Star):
+                    stage2_columns |= expression_columns(arg)
+
+    # Reverse liveness sweep: needed_after[k] = columns any op >= k or
+    # the aggregation stage still reads.
+    needed_after = [set() for _ in range(len(ops) + 1)]
+    needed_after[len(ops)] = set(stage2_columns)
+    for k in range(len(ops) - 1, -1, -1):
+        need = set(needed_after[k + 1])
+        if isinstance(ops[k], PhysProbe):
+            for expr in ops[k].probe_keys:
+                need |= expression_columns(expr)
+        else:
+            need |= expression_columns(ops[k].predicate)
+        needed_after[k] = need
+
+    em.load_columns(
+        name for name in needed_after[0] if origins.get(name, 0) == -1
+    )
+
+    def prune_live(keep) -> None:
+        # Drop dead bindings so a stale (wrong-length) array can never
+        # be referenced silently — column_var raises _NoFuse instead.
+        for name in list(em._col_vars):
+            if name not in keep:
+                del em._col_vars[name]
+
+    nfilters = 0
+    probe_no = 0
+    rows_bt: str | None = None
+    #: A leading filter run defers its selection into an index vector
+    #: (one ``flatnonzero``) instead of slicing every live column —
+    #: scan columns stay full-length ("lazy") until first use, then
+    #: gather ONCE through composed indices.  Boolean slicing re-scans
+    #: the mask per column; index gathers don't.
+    pending: str | None = None
+    lazy: set[str] = set()
+    k = 0
+    while k < len(ops):
+        if isinstance(ops[k], PhysFilter):
+            run = [ops[k].predicate]
+            while k + 1 < len(ops) and isinstance(ops[k + 1], PhysFilter):
+                k += 1
+                run.append(ops[k].predicate)
+            nfilters += len(run)
+            _emit_filters(em, run)
+            fidx = em.fresh("_fx")
+            em.emit(f"{fidx} = np.flatnonzero(_sel)")
+            em.emit(f"_n = len({fidx})")
+            live = [n for n in needed_after[k + 1] if n in em._col_vars]
+            if probe_no == 0:
+                # Before the first probe: defer.  The probe composes
+                # this selection with its own match indices, so each
+                # surviving column is gathered exactly once.
+                pending = fidx
+                lazy = set(live)
+            else:
+                for name in sorted(live):
+                    var = em._col_vars[name]
+                    em.emit(f"{var} = {var}.take({fidx})")
+                if rows_bt is not None:
+                    em.emit(f"{rows_bt} = {rows_bt}.take({fidx})")
+            prune_live(live)
+            em.reset_stage()
+        else:
+            op = ops[k]
+            p = probe_no
+            if pending is not None:
+                key_columns: set[str] = set()
+                for expr in op.probe_keys:
+                    key_columns |= expression_columns(expr)
+                for name in sorted(key_columns):
+                    if name in lazy:
+                        var = em._col_vars[name]
+                        em.emit(f"{var} = {var}.take({pending})")
+                        lazy.discard(name)
+            key_toks = [em.values_tok(expr) for expr in op.probe_keys]
+            keys = ", ".join(key_toks) + ("," if len(key_toks) == 1 else "")
+            em.emit(f"_J{p} = _joins[{p}]")
+            em.emit(f"_pk{p} = _J{p}.encode_probe(({keys}))")
+            em.emit(f"_pt{p}, _bt{p} = _J{p}.expand_inner(_pk{p})")
+            em.emit(f"_n = len(_pt{p})")
+            em.emit(f"_B{p} = _J{p}.build_batch.columns")
+            composed: str | None = None
+            survivors = sorted(needed_after[k + 1])
+            for name in survivors:
+                if origins.get(name) == p:
+                    var = em.fresh("_c")
+                    em._col_vars[name] = var
+                    em.emit(f"{var} = _B{p}[{name!r}].take(_bt{p})")
+                elif name in em._col_vars:
+                    var = em._col_vars[name]
+                    if name in lazy:
+                        if composed is None:
+                            composed = em.fresh("_ab")
+                            em.emit(
+                                f"{composed} = {pending}.take(_pt{p})"
+                            )
+                        em.emit(f"{var} = {var}.take({composed})")
+                    else:
+                        em.emit(f"{var} = {var}.take(_pt{p})")
+            prune_live(survivors)
+            pending = None
+            lazy = set()
+            if rows_bt is not None:
+                em.emit(f"{rows_bt} = {rows_bt}.take(_pt{p})")
+            if rows_plan is not None and p == rows_plan[0]:
+                # The group keys are functions of this probe's build
+                # row: its build-take indices ride the rest of the
+                # chain like a live column.
+                rows_bt = f"_bt{p}"
+            em.reset_stage()
+            probe_no += 1
+        k += 1
+
+    extra_namespace: dict = {}
+    if rows_plan is not None:
+        _p, specs, dtypes = rows_plan
+        _emit_group_ids_rows(em, rows_plan, rows_bt)
+        extra_namespace["_RDT"] = dtypes
+        extra_namespace["_RDEC"] = _make_rows_decoder(specs)
+    else:
+        _emit_group_ids_joined(em, aggregate, stage2_columns)
+    extra_namespace["_TYPES"] = {
+        name: types[name] for name in stage2_columns if name in types
+    }
+    return _finish_kernel(em, aggregate, signature, nfilters, probe_no,
+                          extra_namespace=extra_namespace)
+
+
+def _generate(chain, aggregate, signature, columns, types) -> FusedKernel:
+    from .physical import PhysProbe
+
+    if any(isinstance(op, PhysProbe) for op in chain.ops):
+        return _generate_joined(chain, aggregate, signature, types)
+    predicates = tuple(op.predicate for op in chain.ops)
+    return _generate_simple(chain.source, predicates, aggregate, signature,
+                            columns)
 
 
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
+def _check_chain(chain) -> None:
+    """Structural qualification of one morsel chain: filters and
+    *inner* hash-join probes only, with every build tree rooted in a
+    real (or replica) scan.  LEFT joins decline — their null
+    introduction changes build column types after the probe, which the
+    zero-length dtype probe cannot model."""
+    from .physical import PhysFilter, PhysProbe
+
+    for op in chain.ops:
+        if isinstance(op, PhysProbe):
+            if op.kind != "inner":
+                raise _NoFuse(reason="join_left_outer")
+            if op.build.source.table is None:
+                raise _NoFuse(reason="dual_scan")
+            _check_chain(op.build)
+        elif not isinstance(op, PhysFilter):
+            raise _NoFuse(reason="unsupported_operator")
+
+
 def compile_fused(chain, aggregate, context) -> FusedKernel | None:
     """Compile (or fetch from the context's kernel cache) a fused
     kernel for this pipeline + aggregate, or ``None`` when the plan
-    does not qualify — the caller then runs the interpreted path."""
-    from .physical import PhysFilter
+    does not qualify — the caller then runs the interpreted path.
 
-    if aggregate is None or not aggregate.vectorized or aggregate.external:
+    On decline the machine-readable reason is recorded on
+    ``aggregate.fuse_reason`` (surfaced by EXPLAIN).  Cache entries are
+    ``(kernel-or-None, reason)`` pairs so a cached decline replays its
+    reason; when the context's cache is an ``OrderedDict`` it is kept
+    LRU-bounded to ``context.kernel_cache_size`` entries, counting
+    evictions on ``context.kernel_cache_evictions``."""
+
+    def decline(reason: str):
+        if aggregate is not None:
+            aggregate.fuse_reason = reason
         return None
-    scan = chain.source
-    if scan.table is None:
-        return None
-    if any(not isinstance(op, PhysFilter) for op in chain.ops):
-        return None  # joins (probe ops) stay on the interpreted path
-    predicates = tuple(op.predicate for op in chain.ops)
+
+    if aggregate is None or not aggregate.vectorized:
+        return decline(
+            "count_distinct"
+            if aggregate is not None
+            and any(spec.call.distinct for spec in aggregate.specs)
+            else "not_vectorized"
+        )
+    if aggregate.external:
+        return decline("external")
+    if chain.source.table is None:
+        return decline("dual_scan")
     try:
-        signature, columns = _plan_signature(scan, predicates, aggregate)
-    except _NoFuse:
-        return None
+        _check_chain(chain)
+        types = _pipeline_types(chain)
+        signature, columns = _plan_signature(chain, aggregate, types)
+    except _NoFuse as exc:
+        return decline(exc.reason)
 
     cache = getattr(context, "_kernel_cache", None)
     if cache is not None and signature in cache:
+        kernel, reason = cache[signature]
+        if hasattr(cache, "move_to_end"):
+            cache.move_to_end(signature)
         context.kernel_cache_hits = getattr(
             context, "kernel_cache_hits", 0
         ) + 1
-        return cache[signature]
+        if kernel is None:
+            return decline(reason)
+        aggregate.fuse_reason = None
+        return kernel
     try:
-        kernel = _generate(scan, predicates, aggregate, signature, columns)
+        kernel, reason = _generate(chain, aggregate, signature, columns,
+                                   types), None
+    except _NoFuse as exc:
+        kernel, reason = None, exc.reason
     except Exception:
-        # _NoFuse and genuine surprises alike: the interpreted path is
-        # always correct, so an uncompilable plan just runs unfused.
-        kernel = None
+        # Genuine surprises: the interpreted path is always correct,
+        # so an uncompilable plan just runs unfused.
+        kernel, reason = None, "codegen_error"
     if cache is not None:
-        cache[signature] = kernel
+        cache[signature] = (kernel, reason)
         context.kernel_cache_misses = getattr(
             context, "kernel_cache_misses", 0
         ) + 1
+        limit = getattr(context, "kernel_cache_size", None)
+        if limit and hasattr(cache, "move_to_end"):
+            while len(cache) > limit:
+                cache.popitem(last=False)
+                context.kernel_cache_evictions = getattr(
+                    context, "kernel_cache_evictions", 0
+                ) + 1
+    if kernel is None:
+        return decline(reason)
+    aggregate.fuse_reason = None
     return kernel

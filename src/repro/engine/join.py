@@ -74,7 +74,11 @@ class _NumericDict:
         self._lut_base = 0
         if not self.float_space and len(self.uniques):
             span = int(self.uniques[-1]) - int(self.uniques[0]) + 1
-            if span <= max(4 * len(self.uniques), 1024) \
+            # A 16x over-allocation still beats per-probe binary search
+            # (TPC-H orderkeys occupy 1/4 of their key space, and a
+            # filtered build thins that further); _VALUE_LUT_MAX bounds
+            # the absolute footprint at 32 MB of int64 slots.
+            if span <= max(16 * len(self.uniques), 1024) \
                     and span <= _VALUE_LUT_MAX:
                 lut = np.full(span, -1, dtype=np.int64)
                 lut[self.uniques - int(self.uniques[0])] = np.arange(
@@ -252,6 +256,13 @@ class HashJoin:
             if values.shape == ():
                 values = np.full(build_batch.nrows, values)
             build_key_arrays.append(values)
+        #: Evaluated build-key value arrays, one per key, in build-row
+        #: order.  The fused kernels' build-row group-id path reads
+        #: these: an inner match makes the probe-side key value equal
+        #: to the build-side value (exactly, in integer key space), so
+        #: ``build_key_values[i][build_take]`` reproduces a grouped
+        #: probe key without re-encoding it per morsel.
+        self.build_key_values = build_key_arrays
         build_codes, self._probe_encoder, self._code_space = (
             canonical_key_codes(build_key_arrays)
         )
@@ -286,6 +297,42 @@ class HashJoin:
             self._code_counts[self._segment_codes] = self._segment_counts
             self._code_starts[self._segment_codes] = self._segment_starts
 
+    # -- probe primitives (shared with the fused kernels) ------------------
+    def encode_probe(self, key_arrays) -> np.ndarray:
+        """Map per-row probe key arrays into the build code space
+        (``-1`` where the key has no build entry).  This is the
+        composite-code / value-LUT encoder the interpreted probe uses;
+        the fused kernels (:mod:`repro.engine.fused`) call it directly
+        so fused and interpreted probes cannot diverge."""
+        return self._probe_encoder([np.asarray(a) for a in key_arrays])
+
+    def expand_inner(self, probe_codes: np.ndarray):
+        """Inner-match expansion: ``(probe_take, build_take)`` gather
+        indices for one probe morsel's matches.
+
+        ``probe_take[j]`` is the probe row of output row ``j`` (probe
+        rows repeat once per match, preserving probe-row order) and
+        ``build_take[j]`` the matching build row (emitted in build-row
+        order within each probe row).  This is exactly the expansion
+        arithmetic of :meth:`probe` for an inner join, minus the batch
+        materialization — the fused kernels gather only the surviving
+        columns through these indices instead of building an
+        intermediate joined batch.
+        """
+        counts, starts = self._match(probe_codes)
+        total = int(counts.sum())
+        probe_take = np.repeat(
+            np.arange(len(probe_codes), dtype=np.int64), counts
+        )
+        bases = np.repeat(starts, counts)
+        first = np.repeat(np.cumsum(counts) - counts, counts)
+        offsets = np.arange(total, dtype=np.int64) - first
+        if len(self._build_order):
+            build_take = self._build_order[bases + offsets]
+        else:
+            build_take = np.empty(0, dtype=np.int64)
+        return probe_take, build_take
+
     # -- probe -------------------------------------------------------------
     def _match(self, probe_codes: np.ndarray):
         """Per-probe-row (count, segment_start) in the build order."""
@@ -317,7 +364,7 @@ class HashJoin:
             if values.shape == ():
                 values = np.full(batch.nrows, values)
             probe_key_arrays.append(values)
-        probe_codes = self._probe_encoder(probe_key_arrays)
+        probe_codes = self.encode_probe(probe_key_arrays)
         counts, starts = self._match(probe_codes)
 
         if self.kind == "left":

@@ -912,6 +912,9 @@ class PartialGroupTable:
         self._key_to_gid: dict = {}
         self._keys: list[tuple] = []
         self._key_dtypes: list | None = None
+        #: ``(ngroups, columns)`` memo for :meth:`_key_columns`; stale
+        #: the moment a registration grows ``_keys``
+        self._key_columns_memo = None
         if not self.group_exprs:
             # Aggregation without grouping: one global group, always
             # present (so zero-row inputs still produce one output row).
@@ -1019,9 +1022,37 @@ class PartialGroupTable:
             idents = [_key_identity(key) for key in keys]
         table = self._key_to_gid
         stored = self._keys
-        mapping = np.empty(len(keys), dtype=np.int64)
         hits = list(map(table.get, idents))
+        if None not in hits:
+            # Steady state (merges, spill restores): every key already
+            # registered — one C-level conversion, no Python loop.
+            return np.fromiter(hits, np.int64, len(hits))
+        self._key_columns_memo = None
         fast = idents is keys
+        if fast:
+            # Identity keys: insert every miss speculatively with one
+            # C-level ``dict.update``.  Registered gids are < base, so
+            # -1 marks the miss slots unambiguously.  Callers pass
+            # within-call-distinct keys; if a duplicate slips in the
+            # update self-overwrites (the size delta betrays it) and
+            # the speculative insert is unwound below.
+            base = len(stored)
+            gids = np.fromiter(
+                (-1 if h is None else h for h in hits),
+                np.int64, len(hits),
+            )
+            misses = [k for k, h in zip(keys, hits) if h is None]
+            table.update(zip(misses, range(base, base + len(misses))))
+            if len(table) == base + len(misses):
+                stored.extend(misses)
+                gids[gids < 0] = np.arange(
+                    base, base + len(misses), dtype=np.int64
+                )
+                return gids
+            for key in misses:
+                if table.get(key, -1) >= base:
+                    del table[key]
+        mapping = np.empty(len(keys), dtype=np.int64)
         for g, gid in enumerate(hits):
             if gid is None:
                 fresh = len(stored)
@@ -1058,16 +1089,38 @@ class PartialGroupTable:
             col = self._key_column(i)
             if col.dtype == object:
                 codes.append(_object_sort_rank(col))
+            elif col.dtype.kind in "iubUSM":
+                # Raw values rank exactly like their unique-inverse
+                # codes for totally-ordered dtypes; skip the per-column
+                # sort the code substitution would cost.  Floats keep
+                # the code path (NaN/-0.0 collapse rules live there).
+                codes.append(col)
             else:
                 codes.append(np.unique(col, return_inverse=True)[1])
         return np.lexsort(tuple(reversed(codes)))
 
+    def _key_columns(self) -> list[np.ndarray]:
+        """Every key column materialized in one transpose, memoized:
+        finalisation reads each column twice (ordering + output), and
+        the C-level ``np.array`` over a transposed tuple beats a
+        Python assignment loop per group."""
+        memo = self._key_columns_memo
+        if memo is not None and memo[0] == self.ngroups:
+            return memo[1]
+        nkeys = len(self.group_exprs)
+        dtypes = self._key_dtypes if self._key_dtypes else [object] * nkeys
+        if not self._keys:
+            columns = [np.empty(0, dtype=dt) for dt in dtypes]
+        else:
+            columns = [
+                np.array(values, dtype=dt)
+                for values, dt in zip(zip(*self._keys), dtypes)
+            ]
+        self._key_columns_memo = (self.ngroups, columns)
+        return columns
+
     def _key_column(self, i: int) -> np.ndarray:
-        dtype = self._key_dtypes[i] if self._key_dtypes else object
-        col = np.empty(self.ngroups, dtype=dtype)
-        for g, key in enumerate(self._keys):
-            col[g] = key[i]
-        return col
+        return self._key_columns()[i]
 
     def _finalize_results(self, ngroups: int) -> list:
         """Per-spec result arrays in table gid order (hook for the

@@ -112,6 +112,12 @@ class PhysProbe:
     probe_is_left: bool
     build_side: str  # which logical input builds ('left' | 'right')
     est_build_rows: int = 0
+    #: build-content identity override for fused-kernel signatures.
+    #: Normally derived by walking the build tree's catalog tables
+    #: (name + row-version watermark); distributed workers plan
+    #: against replica scans with no catalog table, so the coordinator
+    #: ships the fingerprint it computed and the worker pins it here.
+    fingerprint: tuple | None = None
 
     def describe(self) -> str:
         keys = ", ".join(
@@ -148,6 +154,10 @@ class PhysAggregate:
     #: into one generated morsel kernel (:mod:`repro.engine.fused`).
     fused: bool = False
     kernel: object = None
+    #: why fusion declined this plan (``None`` when fused or when no
+    #: decision was taken); machine-readable code surfaced in EXPLAIN
+    #: so bench regressions are diagnosable without a debugger.
+    fuse_reason: str | None = None
     #: True when the plan runs as a ShardedAggregate: the table is
     #: hash-sharded across executor processes and partial group tables
     #: are exchanged back over the spill wire format
@@ -163,6 +173,8 @@ class PhysAggregate:
         aggs = ", ".join(spec.sql for spec in self.specs)
         mode = "morsel-parallel" if workers > 1 else "serial"
         extra = ", fused" if self.fused else ""
+        if not self.fused and self.fuse_reason:
+            extra = f", unfused:{self.fuse_reason}"
         if self.external:
             extra = (
                 f", external(partitions={self.spill_partitions}, "
@@ -366,32 +378,51 @@ def plan_physical(root: LogicalNode, context,
 
     chain = _build_pipeline(node, state)
 
-    if (aggregate is not None and aggregate.vectorized
-            and not aggregate.external and getattr(context, "fused", False)):
-        from .fused import compile_fused
+    if aggregate is not None:
+        if not getattr(context, "fused", False):
+            aggregate.fuse_reason = "fused_off"
+        else:
+            from .fused import compile_fused
 
-        kernel = compile_fused(chain, aggregate, context)
-        if kernel is not None:
-            aggregate.fused = True
-            aggregate.kernel = kernel
+            # compile_fused handles its own qualification (vectorized,
+            # external, chain shape) and records the decline reason on
+            # aggregate.fuse_reason for EXPLAIN.
+            kernel = compile_fused(chain, aggregate, context)
+            if kernel is not None:
+                aggregate.fused = True
+                aggregate.kernel = kernel
 
     # Sharded multi-process execution: chosen when the session sets
     # shards > 0 and the plan is a single-table scan -> filters ->
-    # aggregate (joins and the external spill path stay on the thread
-    # pipeline; sharding them is future work).  Result bits in the
-    # repro modes are invariant under this choice — executors run the
-    # same kernels over a disjoint row partition and the partial states
-    # merge exactly.
+    # aggregate, or a *fused* join plan whose every build side is
+    # small enough to broadcast to the shard executors (interpreted
+    # joins and the external spill path stay on the thread pipeline).
+    # Result bits in the repro modes are invariant under this choice —
+    # executors run the same kernels over a disjoint row partition and
+    # the partial states merge exactly.
     shards = getattr(context, "shards", 0)
     if (aggregate is not None and shards > 0 and not aggregate.external
-            and chain.source.table is not None
-            and all(isinstance(op, PhysFilter) for op in chain.ops)):
-        aggregate.sharded = True
-        aggregate.shards = shards
-        shard_workers = getattr(context, "shard_workers", None)
-        aggregate.shard_workers = max(
-            1, min(shard_workers or shards, shards)
+            and chain.source.table is not None):
+        plain = all(isinstance(op, PhysFilter) for op in chain.ops)
+        fused_join = (
+            aggregate.fused
+            and getattr(aggregate.kernel, "njoins", 0) > 0
+            and all(
+                isinstance(op, (PhysFilter, PhysProbe))
+                for op in chain.ops
+            )
+            and all(
+                _broadcastable_build(op) for op in chain.ops
+                if isinstance(op, PhysProbe)
+            )
         )
+        if plain or fused_join:
+            aggregate.sharded = True
+            aggregate.shards = shards
+            shard_workers = getattr(context, "shard_workers", None)
+            aggregate.shard_workers = max(
+                1, min(shard_workers or shards, shards)
+            )
 
     from .plan import plan_column_types
 
@@ -411,6 +442,34 @@ def plan_physical(root: LogicalNode, context,
         workers=context.workers,
         morsel_size=context.morsel_size,
     )
+
+
+#: Largest estimated build-side row count the planner will broadcast
+#: to every shard executor for a fused join plan; past this, shipping
+#: the build to each worker dwarfs the sharded scan it parallelises.
+_BROADCAST_BUILD_MAX_ROWS = 1 << 20
+
+
+def _broadcastable_build(op: PhysProbe) -> bool:
+    """Can this probe's build side be materialized once on the
+    coordinator and broadcast to every shard executor?  Requires real
+    scans throughout the build tree (the coordinator materializes it
+    from the catalog) and a bounded estimated size."""
+    if op.est_build_rows > _BROADCAST_BUILD_MAX_ROWS:
+        return False
+
+    def ok(chain: PhysPipeline) -> bool:
+        if chain.source.table is None:
+            return False
+        for o in chain.ops:
+            if isinstance(o, PhysProbe):
+                if not ok(o.build):
+                    return False
+            elif not isinstance(o, PhysFilter):
+                return False
+        return True
+
+    return ok(op.build)
 
 
 #: Per-group state-size model for the external-aggregation decision
@@ -492,18 +551,37 @@ def _combined_predicate(node: LogicalNode) -> ast.Expr | None:
 
 
 def _render_pipeline(chain: PhysPipeline, indent: int,
-                     lines: list[str], query: PhysicalQuery) -> None:
+                     lines: list[str],
+                     aggregate: PhysAggregate | None) -> None:
     pad = "  " * indent
-    if query.aggregate is not None and query.aggregate.fused:
+    if aggregate is not None and aggregate.fused:
         # The whole chain runs as one generated kernel: render it as a
-        # single fused stage over the scan instead of operator lines.
+        # single fused stage — probe stages become FusedJoinProbe lines
+        # (build sides are materialized pipelines, rendered normally).
         filters = ", ".join(
             op.predicate.sql() for op in chain.ops
             if isinstance(op, PhysFilter)
         )
         detail = f"filters=[{filters}]" if filters else "no filters"
         lines.append(pad + f"FusedPipeline[{detail}]")
-        lines.append(pad + "  " + chain.source.describe())
+        indent += 1
+        for op in reversed(
+            [op for op in chain.ops if isinstance(op, PhysProbe)]
+        ):
+            pad = "  " * indent
+            keys = ", ".join(
+                f"{p.sql()} = {b.sql()}"
+                for p, b in zip(op.probe_keys, op.build_keys)
+            )
+            lines.append(
+                pad + f"FusedJoinProbe[{op.kind}, keys=[{keys}], "
+                f"build={op.build_side}, ~{op.est_build_rows} build rows]"
+            )
+            lines.append(pad + "  [build side]")
+            _render_pipeline(op.build, indent + 2, lines, None)
+            lines.append(pad + "  [probe side]")
+            indent += 2
+        lines.append("  " * indent + chain.source.describe())
         return
     for op in reversed(chain.ops):
         if isinstance(op, PhysFilter) and op.at_scan:
@@ -511,7 +589,7 @@ def _render_pipeline(chain: PhysPipeline, indent: int,
         lines.append(pad + op.describe())
         if isinstance(op, PhysProbe):
             lines.append(pad + "  [build side]")
-            _render_pipeline(op.build, indent + 2, lines, query)
+            _render_pipeline(op.build, indent + 2, lines, None)
             lines.append(pad + "  [probe side]")
             indent += 2
             pad = "  " * indent
@@ -549,5 +627,5 @@ def render_physical(query: PhysicalQuery) -> str:
             + query.aggregate.describe(query.workers, query.morsel_size)
         )
         indent += 1
-    _render_pipeline(query.pipeline, indent, lines, query)
+    _render_pipeline(query.pipeline, indent, lines, query.aggregate)
     return "\n".join(lines)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 import weakref
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -69,13 +70,32 @@ class ExecutionContext:
     #: native engine).
     DEFAULT_SPILL_PARTITIONS = 4
 
+    #: Default bound on cached fused kernels per context.  Signatures
+    #: include build-side fingerprints that change on DML, so join
+    #: workloads naturally churn entries; a small LRU keeps steady-state
+    #: hits while bounding a long session's footprint.
+    DEFAULT_KERNEL_CACHE_SIZE = 64
+
+    #: Bound on cached hash-join builds per context.  Entries hold the
+    #: materialized build batch, so the bound is deliberately small;
+    #: keys embed build-table versions and the read snapshot, making a
+    #: stale hit impossible (DML bumps the version, a new snapshot is a
+    #: new key) — the LRU exists purely to bound memory.
+    DEFAULT_JOIN_CACHE_SIZE = 8
+
+    #: Bound on cached physical plans per context.  Keys embed the read
+    #: snapshot, so entries from superseded snapshots go cold and ride
+    #: out the LRU; the bound just caps how many linger.
+    DEFAULT_PLAN_CACHE_SIZE = 32
+
     def __init__(self, workers: int = 1,
                  morsel_size: int = DEFAULT_MORSEL_SIZE,
                  vectorized: bool = True, join_build: str = "auto",
                  memory_budget_bytes: int | None = None,
                  spill_partitions: int | None = None,
                  spill_merge_fanin: int = 0, fused: bool = True,
-                 shards: int = 0, shard_workers: int | None = None):
+                 shards: int = 0, shard_workers: int | None = None,
+                 kernel_cache_size: int | None = None):
         workers = int(workers)
         morsel_size = int(morsel_size)
         if workers < 1:
@@ -136,19 +156,42 @@ class ExecutionContext:
         self._finalizer = None
         self._shard_pool = None
         self._shard_finalizer = None
-        #: Plan-signature -> compiled kernel (or None for plans that
-        #: failed codegen); maintained by :func:`repro.engine.fused.
-        #: compile_fused`, cleared when execution-shaping knobs change.
-        self._kernel_cache: dict = {}
+        #: Plan-signature -> ``(kernel-or-None, decline reason)``;
+        #: maintained LRU by :func:`repro.engine.fused.compile_fused`
+        #: (hits move to the back, inserts evict from the front past
+        #: :attr:`kernel_cache_size`), cleared when execution-shaping
+        #: knobs change.
+        self._kernel_cache: OrderedDict = OrderedDict()
+        self.kernel_cache_size = self._check_cache_size(
+            self.DEFAULT_KERNEL_CACHE_SIZE if kernel_cache_size is None
+            else kernel_cache_size
+        )
         self.kernel_cache_hits = 0
         self.kernel_cache_misses = 0
         self.kernel_cache_invalidations = 0
+        self.kernel_cache_evictions = 0
+        #: Build-chain signature -> materialized :class:`HashJoin`,
+        #: maintained LRU by :func:`repro.engine.executor._build_join`.
+        #: Keys embed every build-side table version plus the read
+        #: snapshot, so entries can never serve stale rows.
+        self._join_cache: OrderedDict = OrderedDict()
+        self.join_cache_hits = 0
+        self.join_cache_misses = 0
+        #: ``(sql text, snapshot, catalog ddl epoch)`` -> planned
+        #: PhysicalQuery, maintained LRU by the session's SELECT path.
+        #: The snapshot pins row content, the DDL epoch pins schema
+        #: identity, and any SET clears the cache — so a hit replays
+        #: planning whose every input is provably unchanged.
+        self._plan_cache: OrderedDict = OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     #: Every knob ``SET <name> = <value>`` accepts, for error messages.
     PARAM_NAMES = (
         "memory_budget_bytes", "memory_budget", "spill_partitions",
         "spill_merge_fanin", "workers", "morsel_size", "vectorized",
         "join_build", "fused", "shards", "shard_workers",
+        "kernel_cache_size",
     )
 
     def _invalidate_kernels(self) -> None:
@@ -158,6 +201,8 @@ class ExecutionContext:
         if self._kernel_cache:
             self._kernel_cache.clear()
             self.kernel_cache_invalidations += 1
+        self._join_cache.clear()
+        self._plan_cache.clear()
 
     # -- knob validation / SET surface ------------------------------------
     @staticmethod
@@ -223,6 +268,13 @@ class ExecutionContext:
         return value
 
     @classmethod
+    def _check_cache_size(cls, value) -> int:
+        value = cls._as_int(value, "kernel_cache_size")
+        if value < 1:
+            raise ConfigError("kernel_cache_size must be >= 1")
+        return value
+
+    @classmethod
     def _check_shards(cls, value) -> int:
         value = cls._as_int(value, "shards")
         if value < 0:
@@ -248,7 +300,8 @@ class ExecutionContext:
         Accepted names: ``memory_budget_bytes`` (alias
         ``memory_budget``; 0, NULL, or 'unbounded' clears it),
         ``spill_partitions``, ``spill_merge_fanin``, ``workers``,
-        ``morsel_size``, ``vectorized``, ``join_build``, ``fused``.
+        ``morsel_size``, ``vectorized``, ``join_build``, ``fused``,
+        ``kernel_cache_size``.
 
         Changes to ``workers``, ``vectorized``, or the memory budget
         invalidate the fused kernel cache (the compiled kernels are
@@ -291,6 +344,14 @@ class ExecutionContext:
             self.vectorized = vectorized
         elif key == "fused":
             self.fused = self._as_bool(value, "fused")
+        elif key == "kernel_cache_size":
+            size = self._check_cache_size(value)
+            self.kernel_cache_size = size
+            # Shrinking trims the cold end now; the trim counts as
+            # evictions, not an invalidation (surviving entries stay).
+            while len(self._kernel_cache) > size:
+                self._kernel_cache.popitem(last=False)
+                self.kernel_cache_evictions += 1
         elif key == "join_build":
             side = str(value).lower()
             if side not in self.JOIN_BUILD_SIDES:
@@ -315,6 +376,11 @@ class ExecutionContext:
                 f"unknown session parameter {name!r}; valid parameters: "
                 + ", ".join(self.PARAM_NAMES)
             )
+        # Every knob can shape planning (operator choice, morsel/worker
+        # configuration baked into the physical plan), so any successful
+        # SET drops cached plans wholesale — SETs are rare, plans are
+        # cheap to rebuild once.
+        self._plan_cache.clear()
 
     def pool(self) -> ThreadPoolExecutor:
         """The context's worker pool, created lazily and reused across
@@ -417,6 +483,12 @@ class PipelineStats:
         self.sharded = False
         self.shards = 0
         self.exchange_bytes = 0
+        #: Kernel-cache counters of the owning context, snapshotted
+        #: when the run finishes (cumulative across the context's
+        #: lifetime, not per-query deltas).
+        self.kernel_cache_hits = 0
+        self.kernel_cache_misses = 0
+        self.kernel_cache_evictions = 0
 
     def kernel_time(self) -> float:
         """Total CPU seconds spent in fused kernels across workers."""
@@ -488,6 +560,7 @@ def run_grouped_pipeline(
     transform=None,
     vectorized: bool | None = None,
     kernel=None,
+    joins=None,
 ):
     """Parallel GROUP BY: per-worker partial tables, exact merge.
 
@@ -499,7 +572,9 @@ def run_grouped_pipeline(
     :class:`~repro.engine.fused.FusedKernel`) replaces the per-morsel
     transform/filter/update loop with one generated call per morsel;
     the kernel subsumes the operator chain, so it is mutually exclusive
-    with ``transform`` and ``where``.
+    with ``transform`` and ``where``.  ``joins`` carries the built
+    :class:`~repro.engine.join.HashJoin` objects a join-fusing kernel
+    probes at runtime (one per fused probe, in chain order).
 
     Returns ``(key_arrays, result_arrays, ngroups)`` in canonical
     (sorted-key) group order.
@@ -526,7 +601,7 @@ def run_grouped_pipeline(
         if kernel is not None:
             from .fused import FusedGroupTable
 
-            table = FusedGroupTable(group_exprs, specs, kernel)
+            table = FusedGroupTable(group_exprs, specs, kernel, joins)
             for index in assigned:
                 t1 = time.thread_time()
                 table.update(morsels[index])
@@ -561,6 +636,11 @@ def run_grouped_pipeline(
     stats.finalize_seconds = time.thread_time() - finalize_started
 
     stats.wall_seconds = time.perf_counter() - wall_started
+    stats.kernel_cache_hits = getattr(context, "kernel_cache_hits", 0)
+    stats.kernel_cache_misses = getattr(context, "kernel_cache_misses", 0)
+    stats.kernel_cache_evictions = getattr(
+        context, "kernel_cache_evictions", 0
+    )
     context.last_stats = stats
     if timings is not None:
         timings.add("selection", sum(selection_seconds))

@@ -38,7 +38,9 @@ import numpy as np
 
 from ..errors import ReproError
 from .catalog import Catalog
-from .executor import QueryResult, execute_select, explain_select
+from .executor import (
+    QueryResult, execute_select, explain_select, plan_select, run_planned,
+)
 from .expr import evaluate
 from .operators import OperatorTimings, SumConfig
 from .pipeline import DEFAULT_MORSEL_SIZE, ExecutionContext, PipelineStats
@@ -146,7 +148,30 @@ class Session:
 
         Returns a :class:`QueryResult` for SELECT and the affected row
         count (an int) for DDL/DML.
+
+        Repeated SELECTs skip parse/bind/optimize/lower entirely when
+        nothing a plan depends on has moved: the plan cache is keyed by
+        ``(sql text, snapshot, catalog DDL epoch)``, so any committed
+        write (new snapshot), any DDL (new epoch), or any ``SET``
+        (cache cleared) plans afresh.  Only SELECT plans ever enter the
+        cache, so a hit cannot shadow a DML statement.
         """
+        context = self.execution_context
+        plan_cache = context._plan_cache
+        plan_key = None
+        if plan_cache:
+            snapshot = self.pin_snapshot()
+            plan_key = (sql_text, snapshot, self.catalog.ddl_epoch)
+            physical = plan_cache.get(plan_key)
+            if physical is not None:
+                plan_cache.move_to_end(plan_key)
+                context.plan_cache_hits += 1
+                if self._after_pin is not None:
+                    self._after_pin(snapshot)
+                timings = OperatorTimings()
+                result = run_planned(physical, context, timings, snapshot)
+                self.last_timings = timings
+                return result
         stmt = parse(sql_text)
         if isinstance(stmt, ast.Explain):
             return self._explain(stmt.query)
@@ -155,11 +180,17 @@ class Session:
             if self._after_pin is not None:
                 self._after_pin(snapshot)
             timings = OperatorTimings()
-            result = execute_select(
-                stmt, self.catalog.get, self.sum_config, timings,
+            physical = plan_select(
+                stmt, self.catalog.get, self.sum_config,
                 self.execution_context, views=self.catalog.views_on,
                 snapshot=snapshot,
             )
+            context.plan_cache_misses += 1
+            key = (sql_text, snapshot, self.catalog.ddl_epoch)
+            plan_cache[key] = physical
+            while len(plan_cache) > context.DEFAULT_PLAN_CACHE_SIZE:
+                plan_cache.popitem(last=False)
+            result = run_planned(physical, context, timings, snapshot)
             self.last_timings = timings
             return result
         if isinstance(stmt, ast.CreateTable):

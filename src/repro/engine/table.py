@@ -157,7 +157,23 @@ class Column:
         (:mod:`repro.engine.vectorized`).
         """
         if self._encoding is None:
-            uniques, codes = np.unique(self.array(), return_inverse=True)
+            arr = self.array()
+            if arr.dtype == object:
+                # ``np.unique`` cannot order ``None`` against strings;
+                # rank NULL before every real value, matching the
+                # object-key sort convention of the group finalizers.
+                ordered = sorted(
+                    set(arr.tolist()), key=lambda v: (v is not None, v)
+                )
+                index = {value: j for j, value in enumerate(ordered)}
+                codes = np.fromiter(
+                    (index[v] for v in arr.tolist()),
+                    dtype=np.int64, count=len(arr),
+                )
+                uniques = np.empty(len(ordered), dtype=object)
+                uniques[:] = ordered
+            else:
+                uniques, codes = np.unique(arr, return_inverse=True)
             self._encoding = (codes.astype(np.int64, copy=False), uniques)
         return self._encoding
 

@@ -368,8 +368,12 @@ class VectorizedGroupTable(PartialGroupTable):
     def __init__(self, group_exprs, specs: list[AggregateSpec]):
         super().__init__(group_exprs, specs)
         self.states, self._spec_plan = self._build_plan(specs)
+        #: Persistent code -> gid table shared by the two stable-code
+        #: factorization paths; ``_lut_bases`` records which code space
+        #: the table indexes (per-part dictionary bases, or the
+        #: ``("rows", total)`` tag of the build-row path).
         self._lut: np.ndarray | None = None
-        self._lut_bases: list[int] | None = None
+        self._lut_bases = None
 
     def approx_bytes(self) -> int:
         lut = 0 if self._lut is None else self._lut.nbytes
@@ -516,6 +520,49 @@ class VectorizedGroupTable(PartialGroupTable):
 
         dense, inverse = np.unique(combined, return_inverse=True)
         key_columns = self._decode_parts(dense, parts)
+        lut = self._bulk_register(
+            list(zip(*[col.tolist() for col in key_columns]))
+        )
+        return lut[inverse.astype(np.int64, copy=False)]
+
+    def _gids_from_rows(self, codes: np.ndarray, total: int, dtypes,
+                        decode_rows) -> np.ndarray:
+        """Morsel gids from composite *source-row* codes whose meaning
+        is stable across morsels.
+
+        The fused join kernels pass gathered build-row indices here
+        when every group key is a function of the build row (a
+        build-side column, or a probe key the inner join made equal to
+        the build key): unlike per-morsel dictionary codes, a build-row
+        index means the same key tuple in every morsel, so a persistent
+        code -> gid lookup registers each key *once* for the whole
+        query instead of re-uniquing and re-registering per morsel.
+        ``decode_rows(fresh_codes)`` gathers the per-key value columns
+        for codes not seen before; registration goes through the same
+        :meth:`_bulk_register` identity logic as every other path, so
+        the stored key representatives (and the result bits) cannot
+        diverge.  Code spaces beyond ``_LUT_MAX`` degrade to the
+        per-morsel ``np.unique`` registration — same bits, no cache.
+        """
+        if self._key_dtypes is None:
+            self._key_dtypes = list(dtypes)
+        if total <= _LUT_MAX:
+            signature = ("rows", total)
+            if self._lut is None or self._lut_bases != signature:
+                self._lut = np.full(total, -1, dtype=np.int64)
+                self._lut_bases = signature
+            gids = self._lut[codes]
+            missing = gids < 0
+            if missing.any():
+                fresh = np.unique(codes[missing])
+                key_columns = decode_rows(fresh)
+                self._lut[fresh] = self._bulk_register(
+                    list(zip(*[col.tolist() for col in key_columns]))
+                )
+                gids = self._lut[codes]
+            return gids
+        dense, inverse = np.unique(codes, return_inverse=True)
+        key_columns = decode_rows(dense)
         lut = self._bulk_register(
             list(zip(*[col.tolist() for col in key_columns]))
         )

@@ -92,14 +92,23 @@ def test_explain_renders_sharded_aggregate():
         _populate(db, _rows(n=50))
         plan = db.explain(QUERIES[0])
         assert "ShardedAggregate(shards=8, shard_workers=8)" in plan
-        # Joins fall back to the thread pipeline: no process exchange.
+        # Fused join plans shard too: the build side is broadcast to
+        # the executors and the kernel recompiles worker-side.
         db.execute("CREATE TABLE names (g INT, label VARCHAR)")
         db.execute("INSERT INTO names VALUES (1, 'one'), (2, 'two')")
         join_plan = db.explain(
             "SELECT names.label, SUM(t.f) FROM t "
             "JOIN names ON t.g = names.g GROUP BY names.label"
         )
-        assert "ShardedAggregate" not in join_plan
+        assert "ShardedAggregate" in join_plan
+        assert "FusedJoinProbe" in join_plan
+        # Unfused join plans still fall back to the thread pipeline.
+        db.execute("SET fused = off")
+        unfused_plan = db.explain(
+            "SELECT names.label, SUM(t.f) FROM t "
+            "JOIN names ON t.g = names.g GROUP BY names.label"
+        )
+        assert "ShardedAggregate" not in unfused_plan
 
 
 def test_set_shards_takes_effect_and_validates():

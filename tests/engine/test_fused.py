@@ -171,12 +171,25 @@ class TestBitEquivalence:
 
 
 class TestQualification:
-    def test_join_plan_falls_back(self, dataset):
+    def test_inner_join_plan_fuses(self, dataset):
+        # PR 10: inner hash-join probes compile into the morsel kernel.
         db = make_db("k INT, s VARCHAR(1), v DOUBLE", dataset)
         db.execute("CREATE TABLE r (k INT, w DOUBLE)")
         db.table("r").bulk_load({"k": [0, 1, 2], "w": [1.0, 2.0, 3.0]})
         db.execute(
             "SELECT t.k, SUM(v) FROM t, r WHERE t.k = r.k GROUP BY t.k"
+        )
+        assert db.last_pipeline_stats.fused is True
+
+    def test_left_outer_join_falls_back(self, dataset):
+        # LEFT joins introduce NULLs into build columns after the
+        # probe, so the kernel declines rather than re-deriving types.
+        db = make_db("k INT, s VARCHAR(1), v DOUBLE", dataset)
+        db.execute("CREATE TABLE r (k INT, w DOUBLE)")
+        db.table("r").bulk_load({"k": [0, 1, 2], "w": [1.0, 2.0, 3.0]})
+        db.execute(
+            "SELECT t.k, SUM(w) FROM t LEFT JOIN r ON t.k = r.k "
+            "GROUP BY t.k"
         )
         assert db.last_pipeline_stats.fused is False
 
@@ -216,7 +229,7 @@ class TestQualification:
         db.execute(QUERY)
         sources = [
             kernel.source
-            for kernel in db.execution_context._kernel_cache.values()
+            for kernel, _reason in db.execution_context._kernel_cache.values()
             if kernel is not None
         ]
         assert len(sources) == 2
@@ -233,6 +246,10 @@ class TestKernelCache:
         db.execute(SUMS_QUERY)
         assert context.kernel_cache_misses == 1
         assert context.kernel_cache_hits == 0
+        # A plan-cache hit serves the plan with its kernel attached and
+        # never reaches the kernel cache; clear it so the re-execution
+        # replans (the cross-snapshot path) and counts a kernel hit.
+        context._plan_cache.clear()
         db.execute(SUMS_QUERY)
         assert context.kernel_cache_misses == 1
         assert context.kernel_cache_hits >= 1
@@ -500,9 +517,49 @@ class TestAddPairsMulti:
         _check_scatter(P64, G, gids, [values], premut=_seed_uniform(150.0),
                        expect_applied=False)
 
-    def test_binary32_declines(self, rng):
+    def test_binary32_applies(self, rng):
+        # PR 10: the scatter fast path runs binary32 ladders through
+        # the same float64 bucket trick — exact while n <= 2**(54-w).
         gids = rng.integers(0, G, N)
         _check_scatter(P32, G, gids, [rng.normal(size=N).astype(np.float32)],
+                       premut=_seed_uniform(np.float32(150.0)))
+
+    def test_window_boundary_straddle(self, rng):
+        # The batch window n <= 2**(54-w) is format-independent (the
+        # float64 bincount accumulator bounds it, not the value dtype);
+        # the default widths put it out of reach (2**14 for binary64,
+        # 2**36 for binary32), so straddle it with a wide-w params:
+        # exactly-at-window applies, one addend past it declines.
+        params = RsumParams(BINARY64, w=45)
+        limit = 1 << (54 - 45)
+        values = rng.uniform(50.0, 200.0, size=limit + 1)
+        _check_scatter(params, 1, np.zeros(limit, dtype=np.int64),
+                       [values[:limit]],
+                       premut=_seed_uniform(150.0, ngroups=1), reps=1)
+        _check_scatter(params, 1, np.zeros(limit + 1, dtype=np.int64),
+                       [values],
+                       premut=_seed_uniform(150.0, ngroups=1), reps=1,
+                       expect_applied=False)
+
+    def test_binary32_subnormal_anchor(self, rng):
+        # Anchors near emin = -126: slices live in the subnormal range
+        # where the float64 representation is still exact.
+        gids = rng.integers(0, G, N)
+        tiny = (rng.normal(size=N).astype(np.float32)
+                * np.float32(1e-38))
+        _check_scatter(P32, G, gids, [tiny],
+                       premut=_seed_uniform(np.float32(1e-37)))
+
+    def test_binary32_nan_inf_decline(self, rng):
+        gids = rng.integers(0, G, N)
+        v_nan = rng.normal(size=N).astype(np.float32)
+        v_nan[13] = np.nan
+        _check_scatter(P32, G, gids, [v_nan],
+                       premut=_seed_uniform(np.float32(150.0)),
+                       expect_applied=False)
+        v_inf = rng.normal(size=N).astype(np.float32)
+        v_inf[7] = np.inf
+        _check_scatter(P32, G, gids, [v_inf],
                        premut=_seed_uniform(np.float32(150.0)),
                        expect_applied=False)
 

@@ -1,0 +1,327 @@
+"""Fused hash-join probe kernels: joins must be invisible in the bits.
+
+PR 10 compiles probe->filter->aggregate into one morsel pass.  The
+kernel reuses the interpreted path's key encoders and hash tables, so
+the only thing allowed to change is dispatch: result bits must be
+byte-identical to the interpreted vectorized path and the scalar path —
+across build-side choice, worker counts, morsel sizes, shard counts,
+and the IEEE special values (NaN / -0.0) and NULLs in the join keys.
+
+The second half pins the operational surface: decline reasons in
+EXPLAIN, build-side DML invalidation through content fingerprints, and
+the bounded LRU kernel cache with its SET-able size knob.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+from repro.errors import ReproError
+
+MODES = ("repro", "repro_buffered", "sorted")
+
+JOIN_FLOAT_KEY = (
+    "SELECT r.tag, SUM(v) AS sv, COUNT(*) AS c, MIN(v) AS lo, "
+    "MAX(v) AS hi FROM t, r WHERE t.k = r.k "
+    "GROUP BY r.tag ORDER BY r.tag"
+)
+JOIN_STRING_KEY = (
+    "SELECT t.s, SUM(v) AS sv, SUM(w) AS sw, COUNT(*) AS c "
+    "FROM t JOIN r ON t.s = r.s GROUP BY t.s ORDER BY t.s"
+)
+JOIN_THEN_FILTER = (
+    "SELECT r.tag, SUM(v) FROM t, r "
+    "WHERE t.k = r.k AND v > -1e300 AND w < 100.0 "
+    "GROUP BY r.tag ORDER BY r.tag"
+)
+
+
+def _edge_rows(seed=23, n=900):
+    """Probe rows whose keys hit every hash-equality edge: NaN and
+    -0.0 float keys, NULL and empty-string object keys."""
+    rng = np.random.default_rng(seed)
+    k = rng.integers(0, 8, n).astype(np.float64)
+    k[::53] = np.nan
+    k[1::71] = -0.0
+    k[2::71] = 0.0
+    s = np.array(["ant", "bee", "", None], dtype=object)[
+        rng.integers(0, 4, n)
+    ]
+    v = rng.normal(scale=1e6, size=n)
+    v[::97] = np.nan
+    v[3::131] = np.inf
+    v[4::151] = -0.0
+    return {"k": k.tolist(), "s": s.tolist(), "v": v.tolist()}
+
+
+def _build_rows():
+    """Build side: one NaN key (never matches), a -0.0 key (matches
+    both zeros), a NULL and an empty string key."""
+    return {
+        "k": [0.0, 1.0, 2.0, 3.0, float("nan"), -0.0],
+        "s": ["ant", "bee", "", None, "cow", "ant"],
+        "tag": ["z", "a", "b", "c", "n", "zz"],
+        "w": [1.5, -2.5, 3.25, 99.0, 7.0, 101.0],
+    }
+
+
+def _result_bits(result):
+    pieces = []
+    for arr in result.arrays:
+        arr = np.asarray(arr)
+        if arr.dtype == object:
+            pieces.append("|".join(map(repr, arr.tolist())).encode())
+        else:
+            pieces.append(arr.dtype.str.encode() + arr.tobytes())
+    return tuple(pieces)
+
+
+def _make_db(sum_mode="repro", **kw):
+    db = Database(sum_mode=sum_mode, **kw)
+    db.execute(
+        "CREATE TABLE t (k DOUBLE, s VARCHAR, v DOUBLE)"
+    )
+    db.table("t").bulk_load(_edge_rows())
+    db.execute(
+        "CREATE TABLE r (k DOUBLE, s VARCHAR, tag VARCHAR, w DOUBLE)"
+    )
+    db.table("r").bulk_load(_build_rows())
+    return db
+
+
+QUERIES = (JOIN_FLOAT_KEY, JOIN_STRING_KEY, JOIN_THEN_FILTER)
+
+
+class TestJoinBitEquivalence:
+    @pytest.mark.parametrize("sum_mode", MODES)
+    def test_bits_invariant_across_fusion_matrix(self, sum_mode):
+        with _make_db(sum_mode, vectorized=False, fused=False) as db:
+            base = [_result_bits(db.execute(q)) for q in QUERIES]
+        for fused, build, workers, morsel in itertools.product(
+            (True, False), ("left", "right"), (1, 3), (1 << 16, 257)
+        ):
+            with _make_db(sum_mode, fused=fused, join_build=build,
+                          workers=workers, morsel_size=morsel) as db:
+                got = []
+                for query in QUERIES:
+                    got.append(_result_bits(db.execute(query)))
+                    stats = db.last_pipeline_stats
+                    assert stats.fused is fused, (query, fused)
+                assert got == base, (fused, build, workers, morsel)
+
+    @pytest.mark.parametrize("shards", (2, 3))
+    def test_bits_invariant_under_sharded_fused_joins(self, shards):
+        with _make_db("repro") as db:
+            base = [_result_bits(db.execute(q)) for q in QUERIES]
+        with _make_db("repro", shards=shards, shard_workers=2) as db:
+            for query, expect in zip(QUERIES, base):
+                assert _result_bits(db.execute(query)) == expect, query
+                stats = db.last_pipeline_stats
+                assert stats.fused and stats.sharded
+                assert stats.exchange_bytes > 0
+
+    def test_fused_join_matches_fsum_oracle(self):
+        import math
+
+        with _make_db("repro") as db:
+            result = db.execute(JOIN_STRING_KEY)
+            assert db.last_pipeline_stats.fused is True
+            probe = _edge_rows()
+            build = _build_rows()
+            expected = {}
+            for pk, v in zip(probe["s"], probe["v"]):
+                for bk, w in zip(build["s"], build["w"]):
+                    # Documented deviation: the engine has no NULL
+                    # type, so None is an ordinary key value and
+                    # None = None matches (see engine/join.py).
+                    if pk == bk:
+                        sv, sw, c = expected.setdefault(pk, ([], [], 0))
+                        sv.append(v)
+                        sw.append(w)
+                        expected[pk] = (sv, sw, c + 1)
+            rows = result.rows()
+            assert [row[0] for row in rows] == sorted(
+                expected, key=lambda v: (v is not None, v)
+            )
+            for key, sv, sw, c in rows:
+                vs, ws, count = expected[key]
+                assert c == count
+                if not math.isnan(sv):
+                    assert sv == pytest.approx(math.fsum(vs), rel=1e-12)
+                assert sw == pytest.approx(math.fsum(ws), rel=1e-12)
+
+
+class TestJoinQualificationSurface:
+    def test_explain_renders_fused_join_probe(self):
+        with _make_db() as db:
+            plan = db.explain(JOIN_THEN_FILTER)
+            assert "FusedJoinProbe[inner" in plan
+            assert "FusedPipeline[" in plan
+            assert ", fused" in plan
+
+    @pytest.mark.parametrize("query, reason", (
+        ("SELECT t.k, SUM(w) FROM t LEFT JOIN r ON t.k = r.k "
+         "GROUP BY t.k", "unfused:join_left_outer"),
+        ("SELECT t.k, COUNT(DISTINCT v) FROM t, r WHERE t.k = r.k "
+         "GROUP BY t.k", "unfused:count_distinct"),
+    ))
+    def test_explain_shows_decline_reason(self, query, reason):
+        with _make_db() as db:
+            assert reason in db.explain(query)
+
+    def test_explain_shows_fused_off(self):
+        with _make_db() as db:
+            db.execute("SET fused = off")
+            assert "unfused:fused_off" in db.explain(JOIN_FLOAT_KEY)
+
+    def test_build_side_dml_invalidates_kernel(self):
+        # The plan signature embeds a content fingerprint of every
+        # build-side table, so DML on the build table is a new cache
+        # entry — the stale kernel's gathered payload never survives.
+        with _make_db() as db:
+            context = db.execution_context
+            before = _result_bits(db.execute(JOIN_FLOAT_KEY))
+            misses = context.kernel_cache_misses
+            db.execute(
+                "INSERT INTO r VALUES (4.0, 'dee', 'd', 11.0)"
+            )
+            after = db.execute(JOIN_FLOAT_KEY)
+            assert db.last_pipeline_stats.fused is True
+            assert context.kernel_cache_misses == misses + 1
+            assert _result_bits(after) != before
+            assert "d" in [row[0] for row in after.rows()]
+
+
+class TestKernelCacheLRU:
+    def test_eviction_counter_and_bound(self):
+        with _make_db() as db:
+            context = db.execution_context
+            db.execute("SET kernel_cache_size = 2")
+            queries = (
+                "SELECT k, SUM(v) FROM t GROUP BY k",
+                "SELECT s, SUM(v) FROM t GROUP BY s",
+                "SELECT k, COUNT(*) FROM t GROUP BY k",
+            )
+            for query in queries:
+                db.execute(query)
+            assert len(context._kernel_cache) == 2
+            assert context.kernel_cache_evictions == 1
+            assert context.kernel_cache_invalidations == 0
+            # The evicted (coldest) plan recompiles on reuse.  The plan
+            # cache would serve the whole plan (kernel included) without
+            # consulting the kernel LRU; clear it so the reuse actually
+            # replans, which is the path DML/new-snapshot traffic takes.
+            misses = context.kernel_cache_misses
+            context._plan_cache.clear()
+            db.execute(queries[0])
+            assert context.kernel_cache_misses == misses + 1
+
+    def test_lru_order_tracks_use(self):
+        with _make_db() as db:
+            context = db.execution_context
+            db.execute("SET kernel_cache_size = 2")
+            db.execute("SELECT k, SUM(v) FROM t GROUP BY k")
+            db.execute("SELECT s, SUM(v) FROM t GROUP BY s")
+            # Touch the older entry, then insert a third: the middle
+            # one is now coldest and gets evicted.  Each re-execution
+            # clears the plan cache first so it reaches the kernel LRU
+            # (a plan-cache hit would bypass it entirely).
+            context._plan_cache.clear()
+            db.execute("SELECT k, SUM(v) FROM t GROUP BY k")
+            db.execute("SELECT k, COUNT(*) FROM t GROUP BY k")
+            misses = context.kernel_cache_misses
+            context._plan_cache.clear()
+            db.execute("SELECT k, SUM(v) FROM t GROUP BY k")
+            assert context.kernel_cache_misses == misses  # still cached
+
+    def test_shrinking_size_trims_cold_entries(self):
+        with _make_db() as db:
+            context = db.execution_context
+            db.execute("SELECT k, SUM(v) FROM t GROUP BY k")
+            db.execute("SELECT s, SUM(v) FROM t GROUP BY s")
+            db.execute("SELECT k, COUNT(*) FROM t GROUP BY k")
+            assert len(context._kernel_cache) == 3
+            db.execute("SET kernel_cache_size = 1")
+            assert len(context._kernel_cache) == 1
+            assert context.kernel_cache_evictions == 2
+            assert context.kernel_cache_invalidations == 0
+
+    def test_set_validates(self):
+        with _make_db() as db:
+            with pytest.raises(ReproError, match="kernel_cache_size"):
+                db.execute("SET kernel_cache_size = 0")
+
+    def test_stats_surface_cache_counters(self):
+        with _make_db() as db:
+            db.execute("SELECT k, SUM(v) FROM t GROUP BY k")
+            assert db.last_pipeline_stats.kernel_cache_misses >= 1
+            db.execution_context._plan_cache.clear()
+            db.execute("SELECT k, SUM(v) FROM t GROUP BY k")
+            assert db.last_pipeline_stats.kernel_cache_hits >= 1
+
+
+class TestPlanAndJoinCaches:
+    def test_plan_cache_hit_replays_bit_identically(self):
+        with _make_db() as db:
+            context = db.execution_context
+            before = _result_bits(db.execute(JOIN_FLOAT_KEY))
+            hits = context.plan_cache_hits
+            after = _result_bits(db.execute(JOIN_FLOAT_KEY))
+            assert context.plan_cache_hits == hits + 1
+            assert after == before
+
+    def test_dml_means_plan_cache_miss_and_fresh_rows(self):
+        with _make_db() as db:
+            context = db.execution_context
+            db.execute(JOIN_FLOAT_KEY)
+            hits = context.plan_cache_hits
+            db.execute("INSERT INTO r VALUES (4.0, 'dee', 'd', 11.0)")
+            after = db.execute(JOIN_FLOAT_KEY)
+            assert context.plan_cache_hits == hits  # new snapshot
+            assert "d" in [row[0] for row in after.rows()]
+
+    def test_ddl_epoch_guards_same_name_recreate(self):
+        with _make_db() as db:
+            db.execute("CREATE TABLE g (k VARCHAR, v DOUBLE)")
+            db.execute("INSERT INTO g VALUES ('a', 1.0)")
+            assert db.execute(
+                "SELECT k, SUM(v) FROM g GROUP BY k"
+            ).rows() == [("a", 1.0)]
+            db.execute("DROP TABLE g")
+            db.execute("CREATE TABLE g (k VARCHAR, v DOUBLE)")
+            db.execute("INSERT INTO g VALUES ('b', 2.0)")
+            assert db.execute(
+                "SELECT k, SUM(v) FROM g GROUP BY k"
+            ).rows() == [("b", 2.0)]
+
+    def test_set_clears_plan_cache(self):
+        with _make_db() as db:
+            context = db.execution_context
+            db.execute(JOIN_FLOAT_KEY)
+            assert len(context._plan_cache) == 1
+            db.execute("SET morsel_size = 64")
+            assert len(context._plan_cache) == 0
+
+    def test_join_build_cached_across_executions(self):
+        with _make_db() as db:
+            context = db.execution_context
+            db.execute(JOIN_FLOAT_KEY)
+            misses = context.join_cache_misses
+            hits = context.join_cache_hits
+            # Same snapshot, same build chain: the materialized hash
+            # table is reused.  Clear the plan cache so the probe is
+            # genuinely re-planned and re-instantiated.
+            context._plan_cache.clear()
+            db.execute(JOIN_FLOAT_KEY)
+            assert context.join_cache_misses == misses
+            assert context.join_cache_hits == hits + 1
+
+    def test_join_cache_never_serves_stale_build(self):
+        with _make_db() as db:
+            before = db.execute(JOIN_FLOAT_KEY).rows()
+            db.execute("INSERT INTO r VALUES (4.0, 'dee', 'd', 11.0)")
+            after = db.execute(JOIN_FLOAT_KEY).rows()
+            assert after != before
+            assert "d" in [row[0] for row in after]

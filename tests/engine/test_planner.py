@@ -274,7 +274,8 @@ class TestExplain:
         assert "filter=(w > 15)" in text
         # Projection at the scan.
         assert "columns=[" in text
-        assert "HashJoinProbe" in text and "build=" in text
+        # PR 10: the aggregate's probe compiles into the fused kernel.
+        assert "FusedJoinProbe" in text and "build=" in text
 
     def test_explain_shows_engine_choice(self, db):
         vec = db.explain("SELECT shared, SUM(v) FROM a GROUP BY shared")

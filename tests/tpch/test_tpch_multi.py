@@ -131,8 +131,11 @@ class TestQ5:
             assert revenue == pytest.approx(reference[name], rel=1e-12)
 
     def test_six_table_plan_builds(self, db):
+        # PR 10: probes on the aggregate's chain compile into the fused
+        # kernel; probes nested inside build sides stay interpreted.
         text = db.explain(Q5_SQL)
-        assert text.count("HashJoinProbe") == 5
+        assert text.count("FusedJoinProbe") + text.count("HashJoinProbe") == 5
+        assert text.count("FusedJoinProbe") >= 1
         assert "Scan(region" in text
 
     def test_ieee_join_aggregate_can_drift(self, db):
